@@ -1,0 +1,84 @@
+"""CLAIM-VARY — varying-parameter execution (Section 2.1).
+
+The Experimentation Module plots "data utility indicators and runtime vs. the
+varying parameter".  These benchmarks sweep k and m for a transaction
+algorithm and k for a relational algorithm, recording the indicator curves.
+The expected shape: utility loss and ARE grow (weakly) with k and m, runtime
+is roughly flat or grows with stricter privacy.
+"""
+
+from __future__ import annotations
+
+from repro.engine import (
+    ParameterSweep,
+    VaryingParameterExperiment,
+    relational_config,
+    transaction_config,
+)
+
+
+def _experiment(session):
+    return VaryingParameterExperiment(
+        session.dataset, session.resources(), verify_privacy=False
+    )
+
+
+def test_k_sweep_apriori(benchmark, session, record):
+    sweep = ParameterSweep("k", (2, 5, 10, 20, 40))
+    result = benchmark.pedantic(
+        _experiment(session).run,
+        args=(transaction_config("apriori", m=2, label="apriori"), sweep),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        "vary_k_apriori",
+        {
+            "k": list(result.values),
+            "transaction_ul": result.series["transaction_ul"].y,
+            "are": result.series["are"].y,
+            "runtime_seconds": result.series["runtime_seconds"].y,
+        },
+    )
+    ul = result.series["transaction_ul"].y
+    assert ul == sorted(ul), "utility loss should not decrease as k grows"
+
+
+def test_m_sweep_apriori(benchmark, session, record):
+    sweep = ParameterSweep("m", (1, 2, 3))
+    result = benchmark.pedantic(
+        _experiment(session).run,
+        args=(transaction_config("apriori", k=5, label="apriori"), sweep),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        "vary_m_apriori",
+        {
+            "m": list(result.values),
+            "transaction_ul": result.series["transaction_ul"].y,
+            "runtime_seconds": result.series["runtime_seconds"].y,
+        },
+    )
+    ul = result.series["transaction_ul"].y
+    assert ul[-1] >= ul[0] - 1e-9, "larger adversary knowledge cannot cost less utility"
+
+
+def test_k_sweep_cluster(benchmark, session, record):
+    sweep = ParameterSweep("k", (5, 10, 20, 40))
+    result = benchmark.pedantic(
+        _experiment(session).run,
+        args=(relational_config("cluster", label="cluster"), sweep),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        "vary_k_cluster",
+        {
+            "k": list(result.values),
+            "relational_gcp": result.series["relational_gcp"].y,
+            "are": result.series["are"].y,
+        },
+    )
+    gcp = result.series["relational_gcp"].y
+    assert gcp[-1] >= gcp[0] - 1e-9

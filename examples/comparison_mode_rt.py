@@ -1,0 +1,56 @@
+"""Demonstration scenario 2: "Comparing methods for RT-datasets".
+
+Reproduces the Comparison mode of SECRETA (Figure 4): several configurations
+— each pairing a relational and a transaction algorithm under a bounding
+method with fixed parameters — are executed across a varying parameter, and
+the utility (ARE, GCP, UL) and runtime series are plotted side by side.
+
+Run with::
+
+    python examples/comparison_mode_rt.py [output-directory]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import Session, rt_config
+from repro.frontend.plotting import comparison_figure
+
+
+def main(output_directory: str | None = None) -> None:
+    output = Path(output_directory) if output_directory else None
+    session = Session.generate_rt(n_records=300, n_items=25, seed=19)
+
+    # The "experimenter area": one configuration per method to compare.
+    configurations = [
+        rt_config("cluster", "apriori", bounding="rtmerger", m=2, delta=0.6,
+                  label="Cluster+Apriori/RTmerger"),
+        rt_config("incognito", "apriori", bounding="rmerger", m=2, delta=0.6,
+                  label="Incognito+Apriori/Rmerger"),
+        rt_config("cluster", "lra", bounding="tmerger", m=2, delta=0.6,
+                  label="Cluster+LRA/Tmerger"),
+    ]
+
+    # Varying parameter: k from 5 to 25 with step 10 (start/end/step, exactly
+    # like the GUI sliders).
+    report = session.compare(configurations, "k", 5, 25, 10)
+
+    for indicator in ("are", "relational_gcp", "transaction_ul", "runtime_seconds"):
+        figure = comparison_figure(report, indicator)
+        print(figure.to_text())
+        print()
+
+    print("Tabular view (ARE):")
+    for row in report.table("are"):
+        print("  ", {key: round(value, 4) if isinstance(value, float) else value
+                     for key, value in row.items()})
+
+    if output is not None:
+        session.exporter(output).export_comparison(report, stem="scenario2")
+        print(f"\nExported comparison series and figures to {output}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,82 @@
+"""A tour of the Dataset, Configuration and Queries editors.
+
+Mirrors the first part of the demonstration plan ("Using the Dataset
+Editor" / "Using the Configuration and Queries Editor"): load a dataset from
+CSV, edit attribute names and values, add and delete rows, plot histograms,
+browse a hierarchy, edit the query workload, and export everything.
+
+Run with::
+
+    python examples/dataset_editor_tour.py [output-directory]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import Attribute, Session
+from repro.queries import Query, RangeCondition
+
+
+def main(output_directory: str | None = None) -> None:
+    output = Path(output_directory) if output_directory else Path(tempfile.mkdtemp(prefix="secreta-tour-"))
+
+    # Create a CSV on disk first, then load it the way a user would.
+    seed_session = Session.generate_rt(n_records=120, n_items=20, seed=29)
+    csv_path = seed_session.dataset_editor.save(output / "input.csv")
+    session = Session.from_csv(csv_path, transaction_columns=["Items"])
+    editor = session.dataset_editor
+    print(f"Loaded {len(session.dataset)} records from {csv_path}")
+
+    # -- edit the dataset ------------------------------------------------------------
+    editor.rename_attribute("Workclass", "Employment")
+    editor.set_value(2, "Education", "Doctorate")
+    editor.add_record(
+        {
+            "Age": 33,
+            "Hours": 40,
+            "Employment": "Private",
+            "Education": "Masters",
+            "Marital": "Married",
+            "Occupation": "Tech",
+            "Gender": "Female",
+            "Disease": "Flu",
+            "Items": ["i001", "i002"],
+        }
+    )
+    editor.delete_record(0)
+    editor.add_attribute(Attribute.categorical("Country", quasi_identifier=False), default="GR")
+    print("After editing:", session.dataset)
+    editor.undo()   # drop the Country column again
+    print("After undo  :", session.dataset.schema.names)
+
+    # -- analyze ---------------------------------------------------------------------
+    print()
+    print(session.histogram_text("Employment"))
+    print(session.histogram_text("Age", bins=6))
+
+    # -- hierarchies and queries --------------------------------------------------------
+    session.configuration_editor.generate_hierarchies(fanout=3)
+    print("Items hierarchy paths (first 3):")
+    for path in session.configuration_editor.browse_hierarchy("Items")[:3]:
+        print("   ", " -> ".join(path))
+
+    session.queries_editor.generate(n_queries=10, seed=1)
+    session.queries_editor.add_query(
+        Query(conditions={"Age": RangeCondition(30, 40)}, items=["i001"])
+    )
+    print("\nQuery workload:")
+    for line in session.queries_editor.describe()[:5]:
+        print("   ", line)
+
+    # -- export -----------------------------------------------------------------------
+    written = session.export_all_inputs(output)
+    print("\nExported:")
+    for kind, path in written.items():
+        print(f"   {kind}: {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

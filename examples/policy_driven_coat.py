@@ -1,0 +1,81 @@
+"""Constraint-based anonymization with COAT and PCTA.
+
+The motivating applications of the paper — marketing studies over purchased
+items, medical studies over diagnosis codes — often come with explicit
+requirements: *these* item combinations must not identify anyone, and *those*
+items are interchangeable for the analysis.  COAT and PCTA consume exactly
+such privacy and utility policies instead of generalization hierarchies.
+
+This example builds a market-basket dataset, expresses policies (both
+hand-written and auto-generated), runs COAT and PCTA, and verifies that every
+privacy constraint is satisfied while reporting how much utility each
+algorithm preserved.
+
+Run with::
+
+    python examples/policy_driven_coat.py
+"""
+
+from __future__ import annotations
+
+from repro import Session, transaction_config
+from repro.algorithms import Coat, Pcta
+from repro.metrics import candidate_support, utility_loss
+from repro.policies import (
+    PrivacyConstraint,
+    PrivacyPolicy,
+    UtilityPolicy,
+    generate_policies,
+    policy_summary,
+)
+
+
+def main() -> None:
+    session = Session.generate_transactions(n_records=500, n_items=40, seed=23)
+    dataset = session.dataset
+    universe = sorted(dataset.item_universe())
+    print(f"{len(dataset)} transactions over {len(universe)} items")
+
+    # -- hand-written policies -------------------------------------------------------
+    # Protect three rare item combinations with k=10, and declare the first
+    # twelve items interchangeable in groups of four.
+    privacy = PrivacyPolicy(
+        [
+            PrivacyConstraint([universe[-1]]),
+            PrivacyConstraint([universe[-2], universe[-3]]),
+            PrivacyConstraint([universe[-4], universe[-5]]),
+        ],
+        k=10,
+    )
+    utility = UtilityPolicy([universe[0:4], universe[4:8], universe[8:12]])
+
+    coat_result = Coat(privacy, utility).anonymize(dataset)
+    print("\nCOAT with hand-written policies")
+    print("  utility loss:", round(coat_result.statistics["utility_loss"], 4))
+    for constraint in privacy:
+        support = candidate_support(coat_result.dataset, constraint.items)
+        print(f"  constraint {sorted(constraint.items)}: support {support} (needs 0 or >= {privacy.k})")
+
+    # -- auto-generated policies (Policy Specification Module) -------------------------
+    auto_privacy, auto_utility = generate_policies(dataset, k=10, group_size=5)
+    print("\nAuto-generated policies:", policy_summary(auto_privacy, auto_utility))
+
+    pcta_result = Pcta(auto_privacy).anonymize(dataset)
+    coat_auto_result = Coat(auto_privacy, auto_utility).anonymize(dataset)
+    print("  COAT utility loss :", round(coat_auto_result.statistics["utility_loss"], 4))
+    print("  PCTA utility loss :", round(pcta_result.statistics["utility_loss"], 4))
+    print("  PCTA merges       :", pcta_result.statistics["merges"])
+
+    # -- the same run through the engine (Evaluation mode) -------------------------------
+    report = session.evaluate(transaction_config("coat", k=10, label="COAT k=10"))
+    print("\nEvaluation-mode report for COAT:")
+    print("  ARE :", round(report.are, 4))
+    print("  UL  :", round(report.utility["transaction_ul"], 4))
+    print("  item frequency error:", round(report.utility["item_frequency_error"], 4))
+
+    # Double-check with the library metric that nothing was destroyed outright.
+    assert utility_loss(dataset, coat_result.dataset) <= 1.0
+
+
+if __name__ == "__main__":
+    main()

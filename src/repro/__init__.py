@@ -1,0 +1,88 @@
+"""SECRETA reproduction: evaluate and compare anonymization algorithms.
+
+The package is organised in layers (see ``DESIGN.md``):
+
+* :mod:`repro.datasets` — the RT-dataset model, CSV I/O, editing, statistics
+  and synthetic data generators,
+* :mod:`repro.hierarchy` — generalization hierarchies and lattices,
+* :mod:`repro.policies` — privacy and utility policies (COAT/PCTA),
+* :mod:`repro.queries` — query workloads and Average Relative Error,
+* :mod:`repro.metrics` — information-loss metrics and privacy verification,
+* :mod:`repro.algorithms` — the nine anonymization algorithms and the three
+  RT bounding methods,
+* :mod:`repro.engine` — the backend: configurations, the anonymization
+  module, the method evaluator/comparator and the experimentation module,
+* :mod:`repro.frontend` — the headless counterpart of the GUI: session
+  facade, text plotting and export.
+
+The most convenient entry point is :class:`Session` together with the
+configuration helpers ``relational_config`` / ``transaction_config`` /
+``rt_config``::
+
+    from repro import Session, rt_config
+
+    session = Session.generate_rt(n_records=500, seed=1)
+    report = session.evaluate(rt_config("cluster", "coat", k=5, m=2))
+    print(report.summary())
+"""
+
+from repro.datasets import (
+    Attribute,
+    AttributeKind,
+    Dataset,
+    DatasetEditor,
+    Schema,
+    generate_adult_like,
+    generate_market_basket,
+    generate_rt_dataset,
+    load_csv,
+    save_csv,
+    toy_rt_dataset,
+)
+from repro.engine import (
+    AnonymizationConfig,
+    ComparisonReport,
+    EvaluationReport,
+    ExperimentResources,
+    MethodComparator,
+    MethodEvaluator,
+    ParameterSweep,
+    Series,
+    SweepResult,
+    relational_config,
+    rt_config,
+    transaction_config,
+)
+from repro.exceptions import SecretaError
+from repro.frontend import Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SecretaError",
+    "Attribute",
+    "AttributeKind",
+    "Dataset",
+    "DatasetEditor",
+    "Schema",
+    "generate_adult_like",
+    "generate_market_basket",
+    "generate_rt_dataset",
+    "load_csv",
+    "save_csv",
+    "toy_rt_dataset",
+    "AnonymizationConfig",
+    "ComparisonReport",
+    "EvaluationReport",
+    "ExperimentResources",
+    "MethodComparator",
+    "MethodEvaluator",
+    "ParameterSweep",
+    "Series",
+    "SweepResult",
+    "relational_config",
+    "rt_config",
+    "transaction_config",
+    "Session",
+]

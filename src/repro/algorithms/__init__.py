@@ -1,0 +1,75 @@
+"""The anonymization algorithms integrated by SECRETA.
+
+Four relational algorithms (Incognito, Top-down specialization, Cluster-based
+generalization, Full-subtree bottom-up), five transaction algorithms (COAT,
+PCTA, Apriori, LRA, VPA) and the three RT bounding methods (Rmerger, Tmerger,
+RTmerger) that combine one algorithm of each kind.
+"""
+
+from repro.algorithms.base import (
+    AnonymizationResult,
+    Anonymizer,
+    PhaseTimer,
+    relational_quasi_identifiers,
+)
+from repro.algorithms.registry import (
+    AlgorithmSpec,
+    algorithm_names,
+    bounding_methods,
+    get_spec,
+    relational_algorithms,
+    transaction_algorithms,
+)
+from repro.algorithms.relational import (
+    ClusterAnonymizer,
+    FullSubtreeBottomUp,
+    Incognito,
+    TopDownSpecialization,
+)
+from repro.algorithms.rt import (
+    Rmerger,
+    RTmerger,
+    RtBoundingAnonymizer,
+    RtCombination,
+    Tmerger,
+    algorithm_pairs,
+    combination_count,
+    iter_combinations,
+)
+from repro.algorithms.transaction import (
+    AprioriAnonymizer,
+    Coat,
+    LraAnonymizer,
+    Pcta,
+    VpaAnonymizer,
+)
+
+__all__ = [
+    "AnonymizationResult",
+    "Anonymizer",
+    "PhaseTimer",
+    "relational_quasi_identifiers",
+    "AlgorithmSpec",
+    "algorithm_names",
+    "bounding_methods",
+    "get_spec",
+    "relational_algorithms",
+    "transaction_algorithms",
+    "ClusterAnonymizer",
+    "FullSubtreeBottomUp",
+    "Incognito",
+    "TopDownSpecialization",
+    "Rmerger",
+    "RTmerger",
+    "RtBoundingAnonymizer",
+    "RtCombination",
+    "Tmerger",
+    "algorithm_pairs",
+    "combination_count",
+    "iter_combinations",
+    "AprioriAnonymizer",
+    "Coat",
+    "LraAnonymizer",
+    "Pcta",
+    "VpaAnonymizer",
+]

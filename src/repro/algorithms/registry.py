@@ -1,0 +1,196 @@
+"""Registry of the anonymization algorithms integrated by SECRETA.
+
+The registry is how the engine's configurations refer to algorithms by name
+(exactly like the GUI's drop-down selectors): four relational algorithms,
+five transaction algorithms and three RT bounding methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import Anonymizer
+from repro.algorithms.relational.cluster import ClusterAnonymizer
+from repro.algorithms.relational.fullsubtree import FullSubtreeBottomUp
+from repro.algorithms.relational.incognito import Incognito
+from repro.algorithms.relational.topdown import TopDownSpecialization
+from repro.algorithms.rt.bounding import Rmerger, RTmerger, Tmerger
+from repro.algorithms.transaction.apriori import AprioriAnonymizer
+from repro.algorithms.transaction.coat import Coat
+from repro.algorithms.transaction.lra import LraAnonymizer
+from repro.algorithms.transaction.pcta import Pcta
+from repro.algorithms.transaction.vpa import VpaAnonymizer
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Metadata describing one registered algorithm."""
+
+    name: str
+    kind: str  # "relational" | "transaction" | "rt"
+    cls: type[Anonymizer]
+    uses_hierarchies: bool
+    uses_policies: bool
+    description: str
+
+
+_SPECS: dict[str, AlgorithmSpec] = {}
+
+
+def _register(spec: AlgorithmSpec) -> None:
+    _SPECS[spec.name] = spec
+
+
+_register(
+    AlgorithmSpec(
+        "incognito",
+        "relational",
+        Incognito,
+        uses_hierarchies=True,
+        uses_policies=False,
+        description="Full-domain k-anonymity via bottom-up lattice search (LeFevre et al. 2005)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "top-down",
+        "relational",
+        TopDownSpecialization,
+        uses_hierarchies=True,
+        uses_policies=False,
+        description="Top-down specialization from the fully generalized table (Fung et al. 2005)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "cluster",
+        "relational",
+        ClusterAnonymizer,
+        uses_hierarchies=True,
+        uses_policies=False,
+        description="Greedy k-member clustering with local recoding (Poulis et al. 2013)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "full-subtree",
+        "relational",
+        FullSubtreeBottomUp,
+        uses_hierarchies=True,
+        uses_policies=False,
+        description="Greedy bottom-up full-subtree (full-domain) generalization",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "coat",
+        "transaction",
+        Coat,
+        uses_hierarchies=False,
+        uses_policies=True,
+        description="Constraint-based anonymization of transactions (Loukides et al. 2011)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "pcta",
+        "transaction",
+        Pcta,
+        uses_hierarchies=False,
+        uses_policies=True,
+        description="Privacy-constrained clustering-based transaction anonymization (2012)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "apriori",
+        "transaction",
+        AprioriAnonymizer,
+        uses_hierarchies=True,
+        uses_policies=False,
+        description="Apriori-based k^m-anonymization (Terrovitis et al. 2011)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "lra",
+        "transaction",
+        LraAnonymizer,
+        uses_hierarchies=True,
+        uses_policies=False,
+        description="Local recoding k^m-anonymization (Terrovitis et al. 2011)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "vpa",
+        "transaction",
+        VpaAnonymizer,
+        uses_hierarchies=True,
+        uses_policies=False,
+        description="Vertical partitioning k^m-anonymization (Terrovitis et al. 2011)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "rmerger",
+        "rt",
+        Rmerger,
+        uses_hierarchies=True,
+        uses_policies=False,
+        description="RT bounding method favouring relational utility (Poulis et al. 2013)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "tmerger",
+        "rt",
+        Tmerger,
+        uses_hierarchies=True,
+        uses_policies=False,
+        description="RT bounding method favouring transaction utility (Poulis et al. 2013)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        "rtmerger",
+        "rt",
+        RTmerger,
+        uses_hierarchies=True,
+        uses_policies=False,
+        description="RT bounding method balancing both utilities (Poulis et al. 2013)",
+    )
+)
+
+
+def algorithm_names(kind: str | None = None) -> list[str]:
+    """Registered algorithm names, optionally filtered by kind."""
+    return [
+        spec.name
+        for spec in _SPECS.values()
+        if kind is None or spec.kind == kind
+    ]
+
+
+def get_spec(name: str) -> AlgorithmSpec:
+    """The registry entry for ``name`` (raising a configuration error if unknown)."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SPECS))
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; known algorithms: {known}"
+        ) from None
+
+
+def relational_algorithms() -> list[str]:
+    return algorithm_names("relational")
+
+
+def transaction_algorithms() -> list[str]:
+    return algorithm_names("transaction")
+
+
+def bounding_methods() -> list[str]:
+    return algorithm_names("rt")

@@ -1,0 +1,13 @@
+"""Relational (single-valued attribute) anonymization algorithms."""
+
+from repro.algorithms.relational.cluster import ClusterAnonymizer
+from repro.algorithms.relational.fullsubtree import FullSubtreeBottomUp
+from repro.algorithms.relational.incognito import Incognito
+from repro.algorithms.relational.topdown import TopDownSpecialization
+
+__all__ = [
+    "ClusterAnonymizer",
+    "FullSubtreeBottomUp",
+    "Incognito",
+    "TopDownSpecialization",
+]

@@ -1,0 +1,120 @@
+"""Shared machinery for full-domain (single-dimensional global recoding) algorithms.
+
+Incognito and the full-subtree bottom-up algorithm both explore level vectors
+of the generalization lattice and repeatedly need the equivalence-class sizes
+a level vector induces.  Recomputing generalized tuples record by record for
+every candidate is prohibitively slow in Python, so :class:`FullDomainIndex`
+pre-computes, per attribute and per level, an integer code for every record
+and answers class-size queries with a single vectorised pass.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.lattice import GeneralizationLattice, LevelVector
+
+
+class FullDomainIndex:
+    """Pre-computed per-level value codes for fast k-anonymity checks."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        lattice: GeneralizationLattice,
+    ):
+        self.lattice = lattice
+        self.attributes = lattice.attributes
+        self._n_records = len(dataset)
+        # codes[attribute][level] -> np.ndarray of int codes per record
+        self._codes: dict[str, list[np.ndarray]] = {}
+        # label_count[attribute][level] -> number of distinct labels
+        self._label_counts: dict[str, list[int]] = {}
+        # labels[attribute][level] -> original value -> generalized label
+        self._mappings: dict[str, list[dict]] = {}
+
+        for attribute in self.attributes:
+            hierarchy = lattice.hierarchies[attribute]
+            column = dataset.column(attribute)
+            distinct = sorted({value for value in column}, key=str)
+            per_level_codes: list[np.ndarray] = []
+            per_level_counts: list[int] = []
+            per_level_mappings: list[dict] = []
+            max_level = hierarchy.height
+            for level in range(max_level + 1):
+                mapping = {
+                    value: hierarchy.generalize_to_level(str(value), level)
+                    for value in distinct
+                }
+                labels = sorted(set(mapping.values()))
+                label_code = {label: position for position, label in enumerate(labels)}
+                codes = np.fromiter(
+                    (label_code[mapping[value]] for value in column),
+                    dtype=np.int64,
+                    count=self._n_records,
+                )
+                per_level_codes.append(codes)
+                per_level_counts.append(len(labels))
+                per_level_mappings.append(mapping)
+            self._codes[attribute] = per_level_codes
+            self._label_counts[attribute] = per_level_counts
+            self._mappings[attribute] = per_level_mappings
+
+    # -- class structure -------------------------------------------------------
+    def _keys(self, node: LevelVector) -> np.ndarray:
+        """Mixed-radix record keys identifying each record's equivalence class."""
+        keys = np.zeros(self._n_records, dtype=np.int64)
+        for attribute, level in zip(self.attributes, node):
+            level = min(level, len(self._codes[attribute]) - 1)
+            keys = keys * self._label_counts[attribute][level] + self._codes[attribute][level]
+        return keys
+
+    def class_sizes(self, node: LevelVector) -> np.ndarray:
+        """Sizes of the equivalence classes induced by the level vector."""
+        if self._n_records == 0:
+            return np.array([], dtype=np.int64)
+        _, counts = np.unique(self._keys(node), return_counts=True)
+        return counts
+
+    def min_class_size(self, node: LevelVector) -> int:
+        sizes = self.class_sizes(node)
+        return int(sizes.min()) if sizes.size else 0
+
+    def is_k_anonymous(self, node: LevelVector, k: int) -> bool:
+        return self._n_records == 0 or self.min_class_size(node) >= k
+
+    def number_of_classes(self, node: LevelVector) -> int:
+        sizes = self.class_sizes(node)
+        return int(sizes.size)
+
+    def discernibility(self, node: LevelVector) -> int:
+        sizes = self.class_sizes(node)
+        return int((sizes.astype(np.int64) ** 2).sum())
+
+    # -- application --------------------------------------------------------------
+    def mapping_for(self, attribute: str, level: int) -> Mapping:
+        """Original value -> generalized label mapping for one attribute level."""
+        levels = self._mappings[attribute]
+        return levels[min(level, len(levels) - 1)]
+
+    def apply(self, dataset: Dataset, node: LevelVector) -> Dataset:
+        """Return a copy of ``dataset`` generalized to the level vector."""
+        result = dataset.copy(name=f"{dataset.name}[full-domain]")
+        for attribute, level in zip(self.attributes, node):
+            if level <= 0:
+                continue
+            mapping = self.mapping_for(attribute, level)
+            result.map_column(attribute, lambda value, m=mapping: m.get(value, value))
+        return result
+
+    def loss_proxy(self, node: LevelVector) -> float:
+        """A cheap information-loss proxy: mean normalised level height."""
+        total = 0.0
+        for attribute, level in zip(self.attributes, node):
+            height = self.lattice.hierarchies[attribute].height or 1
+            total += min(level, height) / height
+        return total / len(self.attributes) if self.attributes else 0.0

@@ -1,0 +1,25 @@
+"""RT-dataset anonymization: bounding methods and algorithm combinations."""
+
+from repro.algorithms.rt.bounding import (
+    RtBoundingAnonymizer,
+    Rmerger,
+    RTmerger,
+    Tmerger,
+)
+from repro.algorithms.rt.combinations import (
+    RtCombination,
+    algorithm_pairs,
+    combination_count,
+    iter_combinations,
+)
+
+__all__ = [
+    "RtBoundingAnonymizer",
+    "Rmerger",
+    "RTmerger",
+    "Tmerger",
+    "RtCombination",
+    "algorithm_pairs",
+    "combination_count",
+    "iter_combinations",
+]

@@ -1,0 +1,291 @@
+"""Bounding methods for anonymizing RT-datasets (Poulis et al., ECML/PKDD 2013).
+
+An RT-dataset mixes relational attributes (protected through k-anonymity) and
+a transaction attribute (protected through k^m-anonymity).  SECRETA combines
+one algorithm of each kind through a *bounding method*:
+
+1. the relational algorithm forms equivalence classes (clusters) of at least
+   ``k`` records,
+2. the transaction algorithm anonymizes the transaction projection of every
+   cluster so that, within the cluster, any combination of up to ``m`` items
+   matches at least ``k`` records — together this yields (k, k^m)-anonymity,
+3. clusters whose transaction part would have to be destroyed to reach the
+   guarantee (utility loss above the threshold ``δ``) are *merged* with other
+   clusters and re-anonymized.  The three bounding methods differ in how the
+   merge partner is chosen:
+
+   * **Rmerger** — the partner that increases the relational information loss
+     the least (favours relational utility),
+   * **Tmerger** — the partner whose transactions are most similar (favours
+     transaction utility),
+   * **RTmerger** — the partner with the best balanced combination of both.
+
+SECRETA exposes 20 relational×transaction algorithm combinations, each usable
+with any of the three bounding methods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.algorithms.base import (
+    AnonymizationResult,
+    Anonymizer,
+    PhaseTimer,
+    relational_quasi_identifiers,
+    validate_k,
+)
+from repro.algorithms.relational.cluster import ClusterAnonymizer
+from repro.algorithms.transaction.apriori import AprioriAnonymizer
+from repro.datasets.dataset import Dataset
+from repro.exceptions import AlgorithmError, ConfigurationError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.metrics.relational import global_certainty_penalty
+from repro.metrics.transaction import utility_loss
+
+#: A factory producing a configured transaction anonymizer for one cluster.
+TransactionFactory = Callable[[Dataset], Anonymizer]
+
+
+class RtBoundingAnonymizer(Anonymizer):
+    """Base class of the three bounding methods (see module docstring)."""
+
+    name = "rt-bounding"
+    data_kind = "rt"
+    #: Merge-partner policy: ``"r"``, ``"t"`` or ``"rt"`` (set by subclasses).
+    merge_strategy = "rt"
+
+    def __init__(
+        self,
+        k: int,
+        m: int = 2,
+        delta: float = 0.5,
+        relational_algorithm: Anonymizer | None = None,
+        transaction_factory: TransactionFactory | None = None,
+        hierarchies: Mapping[str, Hierarchy] | None = None,
+        item_hierarchy: Hierarchy | None = None,
+        relational_attributes: Sequence[str] | None = None,
+        transaction_attribute: str | None = None,
+        max_merges: int | None = None,
+    ):
+        if not 0 <= delta <= 1:
+            raise ConfigurationError("delta must lie in [0, 1]")
+        if m < 1:
+            raise ConfigurationError("m must be at least 1")
+        self.k = int(k)
+        self.m = int(m)
+        self.delta = float(delta)
+        self.relational_algorithm = relational_algorithm
+        self.transaction_factory = transaction_factory
+        self.hierarchies = dict(hierarchies or {})
+        self.item_hierarchy = item_hierarchy
+        self.relational_attributes = (
+            list(relational_attributes) if relational_attributes is not None else None
+        )
+        self.transaction_attribute = transaction_attribute
+        self.max_merges = max_merges
+
+    def parameters(self) -> dict:
+        return {
+            "k": self.k,
+            "m": self.m,
+            "delta": self.delta,
+            "relational_algorithm": getattr(self.relational_algorithm, "name", "cluster"),
+            "bounding": self.name,
+        }
+
+    # -- phase 1: relational clustering -------------------------------------------
+    def _initial_clusters(
+        self, dataset: Dataset, attributes: Sequence[str]
+    ) -> tuple[list[list[int]], ClusterAnonymizer]:
+        """Clusters of at least k records plus the helper used to generalize them."""
+        helper = ClusterAnonymizer(self.k, self.hierarchies, attributes=list(attributes))
+        algorithm = self.relational_algorithm
+        if algorithm is None or isinstance(algorithm, ClusterAnonymizer):
+            if isinstance(algorithm, ClusterAnonymizer):
+                helper = algorithm
+            clusters = helper.build_clusters(dataset, attributes)
+            return clusters, helper
+        # Any other relational algorithm: run it and use the equivalence
+        # classes of its output as the initial clusters.
+        result = algorithm.anonymize(dataset)
+        groups = result.dataset.group_by(list(attributes))
+        clusters = [sorted(indices) for indices in groups.values()]
+        helper._prepare(dataset, list(attributes))
+        return clusters, helper
+
+    # -- phase 2: per-cluster transaction anonymization -----------------------------
+    def _default_transaction_factory(self) -> TransactionFactory:
+        def factory(_subset: Dataset) -> Anonymizer:
+            return AprioriAnonymizer(
+                self.k, self.m, hierarchy=self.item_hierarchy, attribute=self.transaction_attribute
+            )
+
+        return factory
+
+    def _anonymize_cluster_transactions(
+        self,
+        dataset: Dataset,
+        cluster: Sequence[int],
+        attribute: str,
+        factory: TransactionFactory,
+    ) -> tuple[list[frozenset], float]:
+        """Anonymize one cluster's transaction projection; return itemsets and UL."""
+        subset = dataset.subset(cluster)
+        algorithm = factory(subset)
+        result = algorithm.anonymize(subset)
+        itemsets = [record[attribute] for record in result.dataset]
+        loss = utility_loss(
+            subset, result.dataset, attribute=attribute, hierarchy=self.item_hierarchy
+        )
+        return itemsets, loss
+
+    # -- phase 3: merging ---------------------------------------------------------
+    def _cluster_items(self, dataset: Dataset, cluster: Sequence[int], attribute: str) -> set:
+        items: set = set()
+        for index in cluster:
+            items |= set(dataset[index][attribute])
+        return items
+
+    def _relational_merge_cost(
+        self,
+        helper: ClusterAnonymizer,
+        dataset: Dataset,
+        attributes: Sequence[str],
+        cluster_a: Sequence[int],
+        cluster_b: Sequence[int],
+    ) -> float:
+        merged = list(cluster_a) + list(cluster_b)
+        return helper._cluster_cost(dataset, list(attributes), merged)
+
+    def _transaction_merge_cost(
+        self, dataset: Dataset, cluster_a: Sequence[int], cluster_b: Sequence[int], attribute: str
+    ) -> float:
+        items_a = self._cluster_items(dataset, cluster_a, attribute)
+        items_b = self._cluster_items(dataset, cluster_b, attribute)
+        union = items_a | items_b
+        if not union:
+            return 0.0
+        jaccard = len(items_a & items_b) / len(union)
+        return 1.0 - jaccard
+
+    def _merge_score(
+        self,
+        helper: ClusterAnonymizer,
+        dataset: Dataset,
+        attributes: Sequence[str],
+        attribute: str,
+        cluster_a: Sequence[int],
+        cluster_b: Sequence[int],
+    ) -> float:
+        if self.merge_strategy == "r":
+            return self._relational_merge_cost(helper, dataset, attributes, cluster_a, cluster_b)
+        if self.merge_strategy == "t":
+            return self._transaction_merge_cost(dataset, cluster_a, cluster_b, attribute)
+        relational = self._relational_merge_cost(
+            helper, dataset, attributes, cluster_a, cluster_b
+        )
+        transactional = self._transaction_merge_cost(dataset, cluster_a, cluster_b, attribute)
+        return 0.5 * relational + 0.5 * transactional
+
+    # -- main -----------------------------------------------------------------------
+    def anonymize(self, dataset: Dataset) -> AnonymizationResult:
+        attributes = self.relational_attributes or relational_quasi_identifiers(dataset)
+        if not attributes:
+            raise AlgorithmError(f"{self.name}: the dataset has no relational quasi-identifiers")
+        attribute = self.transaction_attribute or dataset.single_transaction_attribute()
+        validate_k(self.k, len(dataset), self.name)
+        factory = self.transaction_factory or self._default_transaction_factory()
+
+        timer = PhaseTimer()
+        with timer.phase("relational clustering"):
+            clusters, helper = self._initial_clusters(dataset, attributes)
+        initial_clusters = len(clusters)
+
+        with timer.phase("transaction anonymization"):
+            outputs: list[tuple[list[frozenset], float]] = [
+                self._anonymize_cluster_transactions(dataset, cluster, attribute, factory)
+                for cluster in clusters
+            ]
+
+        merges = 0
+        merge_budget = self.max_merges if self.max_merges is not None else len(clusters)
+        with timer.phase("cluster merging"):
+            while len(clusters) > 1 and merges < merge_budget:
+                losses = [loss for _, loss in outputs]
+                worst = max(range(len(clusters)), key=lambda position: losses[position])
+                if losses[worst] <= self.delta:
+                    break
+                candidates = [
+                    position for position in range(len(clusters)) if position != worst
+                ]
+                partner = min(
+                    candidates,
+                    key=lambda position: self._merge_score(
+                        helper, dataset, attributes, attribute, clusters[worst], clusters[position]
+                    ),
+                )
+                merged_cluster = sorted(clusters[worst] + clusters[partner])
+                keep = [
+                    position
+                    for position in range(len(clusters))
+                    if position not in (worst, partner)
+                ]
+                clusters = [clusters[position] for position in keep] + [merged_cluster]
+                outputs = [outputs[position] for position in keep] + [
+                    self._anonymize_cluster_transactions(dataset, merged_cluster, attribute, factory)
+                ]
+                merges += 1
+
+        with timer.phase("apply"):
+            anonymized = helper.generalize_clusters(
+                dataset, clusters, attributes, name_suffix=self.name
+            )
+            for cluster, (itemsets, _loss) in zip(clusters, outputs):
+                for position, index in enumerate(cluster):
+                    anonymized.set_value(index, attribute, itemsets[position])
+
+        relational_gcp = global_certainty_penalty(
+            dataset, anonymized, attributes=attributes, hierarchies=self.hierarchies
+        )
+        transaction_ul = utility_loss(
+            dataset, anonymized, attribute=attribute, hierarchy=self.item_hierarchy
+        )
+        statistics = {
+            "initial_clusters": initial_clusters,
+            "final_clusters": len(clusters),
+            "merges": merges,
+            "relational_gcp": relational_gcp,
+            "transaction_ul": transaction_ul,
+            "max_cluster_ul": max((loss for _, loss in outputs), default=0.0),
+            "cluster_assignment": [list(cluster) for cluster in clusters],
+        }
+        return AnonymizationResult(
+            dataset=anonymized,
+            algorithm=self.name,
+            parameters=self.parameters(),
+            runtime_seconds=timer.total,
+            phase_seconds=timer.phases,
+            statistics=statistics,
+        )
+
+
+class Rmerger(RtBoundingAnonymizer):
+    """Merge partners are chosen to preserve relational utility."""
+
+    name = "rmerger"
+    merge_strategy = "r"
+
+
+class Tmerger(RtBoundingAnonymizer):
+    """Merge partners are chosen to preserve transaction utility."""
+
+    name = "tmerger"
+    merge_strategy = "t"
+
+
+class RTmerger(RtBoundingAnonymizer):
+    """Merge partners balance relational and transaction utility."""
+
+    name = "rtmerger"
+    merge_strategy = "rt"

@@ -1,0 +1,56 @@
+"""Enumeration of the relational x transaction algorithm combinations.
+
+The SECRETA paper highlights that the system "enables the use of 20 different
+combinations of algorithms to anonymize RT-datasets": each of the 4 relational
+algorithms can be paired with each of the 5 transaction algorithms, and the
+pair is glued together by one of the 3 bounding methods.  This module exposes
+that combination space so the Comparison mode and the benchmarks can sweep it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RtCombination:
+    """One relational+transaction pairing under a bounding method."""
+
+    relational: str
+    transaction: str
+    bounding: str = "rtmerger"
+
+    @property
+    def label(self) -> str:
+        """Compact display label, e.g. ``cluster+coat/rtmerger``."""
+        return f"{self.relational}+{self.transaction}/{self.bounding}"
+
+
+def algorithm_pairs() -> list[tuple[str, str]]:
+    """The 4 x 5 = 20 relational/transaction algorithm pairs."""
+    # Imported lazily: the registry itself imports the bounding classes from
+    # this package, so a module-level import would be circular.
+    from repro.algorithms.registry import relational_algorithms, transaction_algorithms
+
+    return list(itertools.product(relational_algorithms(), transaction_algorithms()))
+
+
+def iter_combinations(bounding: str | None = None) -> list[RtCombination]:
+    """All combinations, for one bounding method or for all three."""
+    from repro.algorithms.registry import bounding_methods
+
+    boundings = [bounding] if bounding is not None else bounding_methods()
+    return [
+        RtCombination(relational=relational, transaction=transaction, bounding=method)
+        for method in boundings
+        for relational, transaction in algorithm_pairs()
+    ]
+
+
+def combination_count(include_boundings: bool = False) -> int:
+    """20 pairs, or 60 when counting each bounding method separately."""
+    from repro.algorithms.registry import bounding_methods
+
+    pairs = len(algorithm_pairs())
+    return pairs * len(bounding_methods()) if include_boundings else pairs

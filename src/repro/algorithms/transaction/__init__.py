@@ -1,0 +1,17 @@
+"""Transaction (set-valued attribute) anonymization algorithms."""
+
+from repro.algorithms.transaction.apriori import AprioriAnonymizer
+from repro.algorithms.transaction.coat import Coat
+from repro.algorithms.transaction.lra import LraAnonymizer
+from repro.algorithms.transaction.pcta import Pcta
+from repro.algorithms.transaction.rho_uncertainty import RhoUncertainty
+from repro.algorithms.transaction.vpa import VpaAnonymizer
+
+__all__ = [
+    "AprioriAnonymizer",
+    "Coat",
+    "LraAnonymizer",
+    "Pcta",
+    "RhoUncertainty",
+    "VpaAnonymizer",
+]

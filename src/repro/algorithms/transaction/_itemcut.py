@@ -1,0 +1,195 @@
+"""Shared machinery for hierarchy-based k^m-anonymization of transactions.
+
+The three hierarchy-based transaction algorithms (Apriori, LRA, VPA —
+Terrovitis, Mamoulis, Kalnis, VLDB J. 2011) all transform data by maintaining
+a *cut* of the item generalization hierarchy: a mapping from every original
+item to one of its ancestors such that the mapped nodes partition the item
+universe (full-subtree generalization).  Because the cut is a partition, the
+support of any combination of original items equals the support of the
+combination of their images, which makes the k^m-anonymity check cheap: it is
+enough to count the supports of the node combinations that actually occur in
+the generalized transactions.
+
+:class:`ItemCut` implements the cut and its generalization step;
+:class:`KmAnonymityChecker` enumerates violating combinations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.exceptions import AlgorithmError
+from repro.hierarchy.hierarchy import Hierarchy
+
+
+class ItemCut:
+    """A full-subtree generalization cut over an item hierarchy."""
+
+    def __init__(self, hierarchy: Hierarchy, items: Iterable[str]):
+        self.hierarchy = hierarchy
+        self.items = sorted({str(item) for item in items})
+        missing = [item for item in self.items if item not in hierarchy]
+        if missing:
+            raise AlgorithmError(
+                f"items {missing[:5]} are not covered by the item hierarchy"
+            )
+        #: original item -> current cut node label
+        self.mapping: dict[str, str] = {item: item for item in self.items}
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def nodes(self) -> set[str]:
+        """The distinct cut nodes currently in use."""
+        return set(self.mapping.values())
+
+    def image(self, item: str) -> str:
+        return self.mapping[str(item)]
+
+    def generalize_itemset(self, itemset: Iterable[str]) -> frozenset[str]:
+        """Map an original itemset to its generalized representation."""
+        return frozenset(self.mapping[str(item)] for item in itemset)
+
+    def is_fully_generalized(self) -> bool:
+        return self.nodes == {self.hierarchy.root.label}
+
+    def generalization_level(self, node: str) -> int:
+        return self.hierarchy.level(node)
+
+    # -- transformation -------------------------------------------------------
+    def generalize_node(self, node: str) -> str:
+        """Replace ``node`` (and every cut node under the same parent) by the parent.
+
+        Promoting the whole sibling group keeps the cut a partition of the
+        item universe, which the k^m-anonymity check relies on.
+        """
+        parent = self.hierarchy.parent(node)
+        if parent is None:
+            return node
+        parent_leaves = set(self.hierarchy.leaves(parent))
+        for item in self.items:
+            if item in parent_leaves:
+                self.mapping[item] = parent
+        return parent
+
+    def copy(self) -> "ItemCut":
+        clone = ItemCut.__new__(ItemCut)
+        clone.hierarchy = self.hierarchy
+        clone.items = list(self.items)
+        clone.mapping = dict(self.mapping)
+        return clone
+
+
+class KmAnonymityChecker:
+    """Finds combinations of at most ``m`` cut nodes with support below ``k``."""
+
+    def __init__(self, itemsets: Sequence[frozenset], k: int, m: int):
+        if k < 2:
+            raise AlgorithmError("k must be at least 2")
+        if m < 1:
+            raise AlgorithmError("m must be at least 1")
+        self.itemsets = list(itemsets)
+        self.k = k
+        self.m = m
+
+    def combination_supports(
+        self, cut: ItemCut, size: int
+    ) -> dict[tuple[str, ...], int]:
+        """Support of every node combination of exactly ``size`` that occurs."""
+        supports: dict[tuple[str, ...], int] = {}
+        for itemset in self.itemsets:
+            generalized = sorted(cut.generalize_itemset(itemset))
+            if len(generalized) < size:
+                continue
+            for combination in itertools.combinations(generalized, size):
+                supports[combination] = supports.get(combination, 0) + 1
+        return supports
+
+    def violations(
+        self, cut: ItemCut, size: int
+    ) -> dict[tuple[str, ...], int]:
+        """Node combinations of ``size`` with support in (0, k)."""
+        return {
+            combination: support
+            for combination, support in self.combination_supports(cut, size).items()
+            if 0 < support < self.k
+        }
+
+    def all_violations(self, cut: ItemCut) -> dict[tuple[str, ...], int]:
+        """Violating combinations of every size from 1 to ``m``."""
+        result: dict[tuple[str, ...], int] = {}
+        for size in range(1, self.m + 1):
+            result.update(self.violations(cut, size))
+        return result
+
+    def is_km_anonymous(self, cut: ItemCut) -> bool:
+        return not self.all_violations(cut)
+
+
+def greedy_km_anonymize(
+    itemsets: Sequence[frozenset],
+    hierarchy: Hierarchy,
+    k: int,
+    m: int,
+    cut: ItemCut | None = None,
+    apriori_order: bool = True,
+) -> tuple[ItemCut, dict]:
+    """Greedy full-subtree generalization until k^m-anonymity holds.
+
+    Violating combinations are collected (by increasing size when
+    ``apriori_order`` is set, mirroring the Apriori algorithm's candidate
+    generation) and the cut node participating in the most violations is
+    promoted to its parent, until no violation remains.  Returns the final cut
+    and statistics about the search.
+
+    If the transactions cannot be protected even by generalizing everything to
+    the hierarchy root (fewer than ``k`` non-empty transactions), the cut is
+    returned fully generalized and the caller decides whether to suppress.
+    """
+    universe: set[str] = set()
+    for itemset in itemsets:
+        universe.update(str(item) for item in itemset)
+    if cut is None:
+        cut = ItemCut(hierarchy, universe)
+    checker = KmAnonymityChecker(itemsets, k, m)
+
+    generalization_steps = 0
+    sizes = range(1, m + 1) if apriori_order else [None]
+    for size in sizes:
+        while True:
+            if size is None:
+                violations = checker.all_violations(cut)
+            else:
+                violations = checker.violations(cut, size)
+            if not violations or cut.is_fully_generalized():
+                break
+            # Promote the node involved in the largest number of violations;
+            # prefer the most specific node on ties (cheapest promotion).
+            node_scores: dict[str, int] = {}
+            for combination in violations:
+                for node in combination:
+                    node_scores[node] = node_scores.get(node, 0) + 1
+            promotable = {
+                node: score
+                for node, score in node_scores.items()
+                if cut.hierarchy.parent(node) is not None
+            }
+            if not promotable:
+                # Every violating node is already the hierarchy root; no
+                # generalization can help (too few non-empty transactions).
+                break
+            target = max(
+                promotable,
+                key=lambda node: (promotable[node], -cut.generalization_level(node), node),
+            )
+            cut.generalize_node(target)
+            generalization_steps += 1
+
+    remaining = checker.all_violations(cut)
+    statistics = {
+        "generalization_steps": generalization_steps,
+        "final_nodes": len(cut.nodes),
+        "fully_generalized": cut.is_fully_generalized(),
+        "unresolvable_violations": len(remaining),
+    }
+    return cut, statistics

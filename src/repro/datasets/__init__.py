@@ -1,0 +1,48 @@
+"""Dataset model, I/O, editing, statistics and synthetic generators."""
+
+from repro.datasets.attributes import Attribute, AttributeKind, Schema
+from repro.datasets.csv_io import (
+    load_csv,
+    read_csv_text,
+    save_csv,
+    write_csv_text,
+)
+from repro.datasets.dataset import Dataset, Record
+from repro.datasets.editor import DatasetEditor
+from repro.datasets.generators import (
+    generate_adult_like,
+    generate_market_basket,
+    generate_rt_dataset,
+    toy_rt_dataset,
+)
+from repro.datasets.statistics import (
+    attribute_histogram,
+    dataset_summary,
+    frequency_relative_error,
+    generalized_value_frequencies,
+    numeric_histogram,
+    value_frequencies,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Schema",
+    "Dataset",
+    "Record",
+    "DatasetEditor",
+    "load_csv",
+    "read_csv_text",
+    "save_csv",
+    "write_csv_text",
+    "generate_adult_like",
+    "generate_market_basket",
+    "generate_rt_dataset",
+    "toy_rt_dataset",
+    "attribute_histogram",
+    "dataset_summary",
+    "frequency_relative_error",
+    "generalized_value_frequencies",
+    "numeric_histogram",
+    "value_frequencies",
+]

@@ -1,0 +1,212 @@
+"""Attribute and schema definitions for SECRETA datasets.
+
+SECRETA operates on *RT-datasets*: tables whose columns are either
+
+* **relational** attributes — single-valued, either categorical (e.g.
+  ``Education``) or numeric (e.g. ``Age``); these are the quasi-identifiers
+  protected through *k*-anonymity, and
+* **transaction** attributes — set-valued (e.g. the items a customer
+  purchased or the diagnosis codes of a patient), protected through
+  *k*:sup:`m`-anonymity or constraint-based models.
+
+This module defines the attribute metadata (:class:`Attribute`) and the
+ordered collection of attributes that forms a dataset schema
+(:class:`Schema`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.exceptions import SchemaError
+
+
+class AttributeKind(enum.Enum):
+    """The three kinds of attributes SECRETA distinguishes."""
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+    TRANSACTION = "transaction"
+
+    @property
+    def is_relational(self) -> bool:
+        """``True`` for single-valued (categorical or numeric) attributes."""
+        return self is not AttributeKind.TRANSACTION
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Metadata describing a single dataset column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        Whether the column is categorical, numeric or set-valued.
+    quasi_identifier:
+        Whether the column participates in the privacy model.  Non
+        quasi-identifier relational columns are carried through anonymization
+        untouched (they play the role of sensitive or payload attributes).
+    """
+
+    name: str
+    kind: AttributeKind
+    quasi_identifier: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be a non-empty string")
+
+    @property
+    def is_relational(self) -> bool:
+        return self.kind.is_relational
+
+    @property
+    def is_transaction(self) -> bool:
+        return self.kind is AttributeKind.TRANSACTION
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind is AttributeKind.NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is AttributeKind.CATEGORICAL
+
+    @staticmethod
+    def categorical(name: str, quasi_identifier: bool = True) -> "Attribute":
+        """Convenience constructor for a categorical relational attribute."""
+        return Attribute(name, AttributeKind.CATEGORICAL, quasi_identifier)
+
+    @staticmethod
+    def numeric(name: str, quasi_identifier: bool = True) -> "Attribute":
+        """Convenience constructor for a numeric relational attribute."""
+        return Attribute(name, AttributeKind.NUMERIC, quasi_identifier)
+
+    @staticmethod
+    def transaction(name: str, quasi_identifier: bool = True) -> "Attribute":
+        """Convenience constructor for a set-valued transaction attribute."""
+        return Attribute(name, AttributeKind.TRANSACTION, quasi_identifier)
+
+
+class Schema:
+    """An ordered, name-addressable collection of :class:`Attribute` objects.
+
+    The schema preserves the column order of the underlying dataset and
+    offers convenient views of the relational and transaction sub-schemas,
+    which is how the anonymization algorithms address the data.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        self._attributes: list[Attribute] = list(attributes)
+        names = [attribute.name for attribute in self._attributes]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(
+                f"duplicate attribute names in schema: {sorted(duplicates)}"
+            )
+        self._by_name: dict[str, Attribute] = {
+            attribute.name: attribute for attribute in self._attributes
+        }
+        self._index: dict[str, int] = {
+            attribute.name: position
+            for position, attribute in enumerate(self._attributes)
+        }
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __repr__(self) -> str:
+        names = ", ".join(attribute.name for attribute in self._attributes)
+        return f"Schema([{names}])"
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        """All attribute names, in column order."""
+        return [attribute.name for attribute in self._attributes]
+
+    @property
+    def attributes(self) -> list[Attribute]:
+        """All attributes, in column order (a defensive copy)."""
+        return list(self._attributes)
+
+    @property
+    def relational(self) -> list[Attribute]:
+        """Relational (single-valued) attributes, in column order."""
+        return [a for a in self._attributes if a.is_relational]
+
+    @property
+    def transaction(self) -> list[Attribute]:
+        """Transaction (set-valued) attributes, in column order."""
+        return [a for a in self._attributes if a.is_transaction]
+
+    @property
+    def relational_names(self) -> list[str]:
+        return [a.name for a in self.relational]
+
+    @property
+    def transaction_names(self) -> list[str]:
+        return [a.name for a in self.transaction]
+
+    @property
+    def quasi_identifiers(self) -> list[Attribute]:
+        """Attributes that participate in the privacy model."""
+        return [a for a in self._attributes if a.quasi_identifier]
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in the schema's column order."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def is_rt_schema(self) -> bool:
+        """Whether the schema has both relational and transaction attributes."""
+        return bool(self.relational) and bool(self.transaction)
+
+    # -- modification (returns new Schema; schemas are immutable) -----------
+    def with_attribute(self, attribute: Attribute) -> "Schema":
+        """Return a new schema with ``attribute`` appended."""
+        return Schema(self._attributes + [attribute])
+
+    def without_attribute(self, name: str) -> "Schema":
+        """Return a new schema with attribute ``name`` removed."""
+        if name not in self._by_name:
+            raise SchemaError(f"unknown attribute {name!r}")
+        return Schema([a for a in self._attributes if a.name != name])
+
+    def renamed(self, old_name: str, new_name: str) -> "Schema":
+        """Return a new schema with ``old_name`` renamed to ``new_name``."""
+        if old_name not in self._by_name:
+            raise SchemaError(f"unknown attribute {old_name!r}")
+        if new_name in self._by_name and new_name != old_name:
+            raise SchemaError(f"attribute {new_name!r} already exists")
+        replaced = [
+            Attribute(new_name, a.kind, a.quasi_identifier)
+            if a.name == old_name
+            else a
+            for a in self._attributes
+        ]
+        return Schema(replaced)

@@ -1,0 +1,382 @@
+"""The RT-dataset model used throughout the SECRETA reproduction.
+
+A :class:`Dataset` is a table whose schema may mix relational (single-valued)
+and transaction (set-valued) attributes — what the SECRETA paper calls an
+*RT-dataset*.  Purely relational and purely transactional datasets are the two
+degenerate cases of the same model, so a single class serves all nine
+anonymization algorithms.
+
+The model is deliberately row-oriented: anonymization algorithms group,
+generalize and merge *records*, so records are first-class
+(:class:`Record`), while column views are derived on demand.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import re
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.datasets.attributes import Attribute, AttributeKind, Schema
+from repro.exceptions import DatasetError, SchemaError
+
+#: The type of a single relational cell (categorical label or number).
+RelationalValue = Any
+
+#: The type of a transaction cell: an immutable set of item labels.
+ItemSet = frozenset
+
+#: Strings accepted in numeric columns even though they are not numbers:
+#: generalized interval labels ("[20-40]"), group labels ("{a..b}"), the
+#: generic root "*" and the suppression marker.  Anonymization coarsens a
+#: numeric domain into such labels while the schema keeps calling the
+#: attribute numeric (the original, truthful domain).
+_GENERALIZED_NUMERIC = re.compile(
+    r"^(\*|†|\[.+-.+\]|\{.+\})$"
+)
+
+
+class Record:
+    """One row of an RT-dataset.
+
+    Relational attribute values are stored as-is (strings or numbers);
+    transaction attribute values are stored as ``frozenset`` of item labels.
+    Records are owned by their dataset; mutate them through
+    :class:`Dataset` / :class:`~repro.datasets.editor.DatasetEditor` so that
+    schema consistency is preserved.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, Any]):
+        self._values: dict[str, Any] = dict(values)
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise SchemaError(f"record has no attribute {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        return f"Record({self._values!r})"
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._values.get(name, default)
+
+    def items(self) -> Iterable[tuple[str, Any]]:
+        return self._values.items()
+
+    def as_dict(self) -> dict[str, Any]:
+        """A copy of the record's values keyed by attribute name."""
+        return dict(self._values)
+
+    def values_for(self, names: Sequence[str]) -> tuple:
+        """The record's values for ``names``, in the given order."""
+        return tuple(self._values[name] for name in names)
+
+    # Internal mutators used by Dataset -------------------------------------
+    def _set(self, name: str, value: Any) -> None:
+        self._values[name] = value
+
+    def _delete(self, name: str) -> None:
+        self._values.pop(name, None)
+
+    def _rename(self, old_name: str, new_name: str) -> None:
+        if old_name in self._values:
+            self._values[new_name] = self._values.pop(old_name)
+
+
+def _normalise_cell(attribute: Attribute, value: Any) -> Any:
+    """Coerce ``value`` to the storage form required by ``attribute``."""
+    if attribute.is_transaction:
+        if value is None:
+            return frozenset()
+        if isinstance(value, str):
+            raise DatasetError(
+                f"transaction attribute {attribute.name!r} expects an iterable "
+                f"of items, got the string {value!r}; split it first"
+            )
+        return frozenset(str(item) for item in value)
+    if attribute.is_numeric:
+        if value is None or value == "":
+            return None
+        if isinstance(value, bool):
+            raise DatasetError(
+                f"numeric attribute {attribute.name!r} cannot store booleans"
+            )
+        if isinstance(value, (int, float)):
+            return value
+        try:
+            as_float = float(value)
+        except (TypeError, ValueError):
+            if isinstance(value, str) and _GENERALIZED_NUMERIC.match(value.strip()):
+                return value.strip()
+            raise DatasetError(
+                f"numeric attribute {attribute.name!r} cannot store {value!r}"
+            ) from None
+        return int(as_float) if as_float.is_integer() else as_float
+    # Categorical: keep strings; generalized interval labels are strings too.
+    if value is None:
+        return None
+    return str(value)
+
+
+class Dataset:
+    """An in-memory RT-dataset: a schema plus an ordered list of records."""
+
+    def __init__(
+        self,
+        schema: Schema | Iterable[Attribute],
+        records: Iterable[Mapping[str, Any]] = (),
+        name: str = "dataset",
+    ):
+        self._schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self.name = name
+        self._records: list[Record] = []
+        for row in records:
+            self.append(row)
+
+    # -- construction helpers ------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema | Iterable[Attribute],
+        rows: Iterable[Sequence[Any]],
+        name: str = "dataset",
+    ) -> "Dataset":
+        """Build a dataset from positional rows aligned with the schema order."""
+        schema = schema if isinstance(schema, Schema) else Schema(schema)
+        names = schema.names
+        dicts = []
+        for row in rows:
+            row = list(row)
+            if len(row) != len(names):
+                raise DatasetError(
+                    f"row has {len(row)} values but schema has {len(names)} attributes"
+                )
+            dicts.append(dict(zip(names, row)))
+        return cls(schema, dicts, name=name)
+
+    # -- basic container protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        return self._schema == other._schema and self._records == other._records
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, records={len(self._records)}, "
+            f"attributes={self._schema.names})"
+        )
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def records(self) -> list[Record]:
+        """The dataset's records (the live list; treat as read-only)."""
+        return self._records
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._records
+
+    @property
+    def is_rt_dataset(self) -> bool:
+        """Whether the dataset mixes relational and transaction attributes."""
+        return self._schema.is_rt_schema()
+
+    def column(self, name: str) -> list[Any]:
+        """All values of attribute ``name``, in record order."""
+        self._require_attribute(name)
+        return [record[name] for record in self._records]
+
+    def relational_tuple(self, index: int, names: Sequence[str] | None = None) -> tuple:
+        """The relational quasi-identifier values of record ``index``."""
+        names = list(names) if names is not None else self._schema.relational_names
+        return self._records[index].values_for(names)
+
+    def itemset(self, index: int, attribute: str | None = None) -> frozenset:
+        """The transaction itemset of record ``index``.
+
+        If ``attribute`` is omitted the dataset must have exactly one
+        transaction attribute.
+        """
+        attribute = attribute or self.single_transaction_attribute()
+        value = self._records[index][attribute]
+        return value if isinstance(value, frozenset) else frozenset(value)
+
+    def single_transaction_attribute(self) -> str:
+        """The name of the dataset's only transaction attribute."""
+        names = self._schema.transaction_names
+        if len(names) != 1:
+            raise SchemaError(
+                f"expected exactly one transaction attribute, found {names}"
+            )
+        return names[0]
+
+    def item_universe(self, attribute: str | None = None) -> set[str]:
+        """The set of all items appearing in a transaction attribute."""
+        attribute = attribute or self.single_transaction_attribute()
+        self._require_attribute(attribute)
+        universe: set[str] = set()
+        for record in self._records:
+            universe.update(record[attribute])
+        return universe
+
+    def domain(self, name: str) -> list[Any]:
+        """Sorted distinct values of a relational attribute."""
+        self._require_attribute(name)
+        attribute = self._schema[name]
+        if attribute.is_transaction:
+            return sorted(self.item_universe(name))
+        values = {record[name] for record in self._records if record[name] is not None}
+        try:
+            return sorted(values)
+        except TypeError:
+            return sorted(values, key=str)
+
+    def group_by(self, names: Sequence[str]) -> dict[tuple, list[int]]:
+        """Group record indices by their values on ``names``.
+
+        This is the equivalence-class view used by the k-anonymity checks and
+        by several algorithms.
+        """
+        for name in names:
+            self._require_attribute(name)
+        groups: dict[tuple, list[int]] = {}
+        for index, record in enumerate(self._records):
+            key = record.values_for(names)
+            groups.setdefault(key, []).append(index)
+        return groups
+
+    # -- mutation ---------------------------------------------------------------
+    def append(self, values: Mapping[str, Any]) -> None:
+        """Append a record given as a mapping from attribute name to value."""
+        unknown = set(values) - set(self._schema.names)
+        if unknown:
+            raise SchemaError(f"unknown attributes in record: {sorted(unknown)}")
+        normalised: dict[str, Any] = {}
+        for attribute in self._schema:
+            raw = values.get(attribute.name)
+            normalised[attribute.name] = _normalise_cell(attribute, raw)
+        self._records.append(Record(normalised))
+
+    def remove_record(self, index: int) -> None:
+        try:
+            del self._records[index]
+        except IndexError:
+            raise DatasetError(f"no record at index {index}") from None
+
+    def set_value(self, index: int, name: str, value: Any) -> None:
+        """Set attribute ``name`` of record ``index`` to ``value``."""
+        self._require_attribute(name)
+        try:
+            record = self._records[index]
+        except IndexError:
+            raise DatasetError(f"no record at index {index}") from None
+        record._set(name, _normalise_cell(self._schema[name], value))
+
+    def add_attribute(
+        self,
+        attribute: Attribute,
+        values: Sequence[Any] | None = None,
+        default: Any = None,
+    ) -> None:
+        """Add a column, filling it from ``values`` or with ``default``."""
+        if attribute.name in self._schema:
+            raise SchemaError(f"attribute {attribute.name!r} already exists")
+        if values is not None and len(values) != len(self._records):
+            raise DatasetError(
+                f"got {len(values)} values for {len(self._records)} records"
+            )
+        self._schema = self._schema.with_attribute(attribute)
+        for position, record in enumerate(self._records):
+            raw = values[position] if values is not None else default
+            record._set(attribute.name, _normalise_cell(attribute, raw))
+
+    def remove_attribute(self, name: str) -> None:
+        """Drop a column from the schema and every record."""
+        self._schema = self._schema.without_attribute(name)
+        for record in self._records:
+            record._delete(name)
+
+    def rename_attribute(self, old_name: str, new_name: str) -> None:
+        """Rename a column in the schema and every record."""
+        self._schema = self._schema.renamed(old_name, new_name)
+        for record in self._records:
+            record._rename(old_name, new_name)
+
+    # -- transformation -----------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Dataset":
+        """A deep copy of the dataset (records are copied, values shared)."""
+        clone = Dataset(self._schema, name=name or self.name)
+        clone._records = [Record(record.as_dict()) for record in self._records]
+        return clone
+
+    def project(self, names: Sequence[str], name: str | None = None) -> "Dataset":
+        """A new dataset containing only the attributes in ``names``."""
+        attributes = [self._schema[n] for n in names]
+        projected = Dataset(Schema(attributes), name=name or f"{self.name}[projected]")
+        for record in self._records:
+            projected.append({n: record[n] for n in names})
+        return projected
+
+    def select(
+        self, predicate: Callable[[Record], bool], name: str | None = None
+    ) -> "Dataset":
+        """A new dataset containing the records for which ``predicate`` holds."""
+        selected = Dataset(self._schema, name=name or f"{self.name}[selected]")
+        selected._records = [
+            Record(record.as_dict()) for record in self._records if predicate(record)
+        ]
+        return selected
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "Dataset":
+        """A new dataset containing the records at ``indices`` (in that order)."""
+        selected = Dataset(self._schema, name=name or f"{self.name}[subset]")
+        try:
+            selected._records = [
+                Record(self._records[i].as_dict()) for i in indices
+            ]
+        except IndexError:
+            raise DatasetError("subset index out of range") from None
+        return selected
+
+    def map_column(self, name: str, transform: Callable[[Any], Any]) -> None:
+        """Apply ``transform`` to every value of attribute ``name`` in place."""
+        self._require_attribute(name)
+        attribute = self._schema[name]
+        for record in self._records:
+            record._set(name, _normalise_cell(attribute, transform(record[name])))
+
+    def to_rows(self) -> list[list[Any]]:
+        """Positional rows aligned with the schema order (deep copies)."""
+        names = self._schema.names
+        return [
+            [_copy.copy(record[name]) for name in names] for record in self._records
+        ]
+
+    # -- internal helpers -----------------------------------------------------------
+    def _require_attribute(self, name: str) -> None:
+        if name not in self._schema:
+            raise SchemaError(f"unknown attribute {name!r}")

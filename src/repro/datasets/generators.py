@@ -1,0 +1,230 @@
+"""Synthetic dataset generators.
+
+The SECRETA demo uses "ready-to-use RT-datasets" whose exact provenance the
+paper does not fix (the anonymization literature it builds on evaluates on
+ADULT-style census tables and BMS/retail-style transaction logs).  Those data
+files are not redistributable, so the reproduction ships deterministic
+generators that produce datasets with the same structural characteristics:
+
+* :func:`generate_adult_like` — a census-like relational table with skewed
+  categorical attributes and numeric attributes (age, hours per week),
+* :func:`generate_market_basket` — a transaction table with a long-tailed
+  (Zipf-like) item popularity distribution and variable basket sizes,
+* :func:`generate_rt_dataset` — the two glued together into an RT-dataset,
+  which is what the demonstration scenarios operate on.
+
+All generators take a ``seed`` and are fully reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.attributes import Attribute, Schema
+from repro.datasets.dataset import Dataset
+from repro.exceptions import DatasetError
+
+# Census-like categorical domains (loosely modelled after the ADULT dataset).
+WORKCLASS_VALUES = [
+    "Private",
+    "Self-emp",
+    "Government",
+    "Unemployed",
+]
+EDUCATION_VALUES = [
+    "Primary",
+    "Secondary",
+    "HS-grad",
+    "Some-college",
+    "Bachelors",
+    "Masters",
+    "Doctorate",
+]
+MARITAL_VALUES = [
+    "Never-married",
+    "Married",
+    "Divorced",
+    "Widowed",
+]
+OCCUPATION_VALUES = [
+    "Tech",
+    "Sales",
+    "Clerical",
+    "Craft",
+    "Service",
+    "Transport",
+    "Farming",
+    "Management",
+]
+GENDER_VALUES = ["Male", "Female"]
+DISEASE_VALUES = [
+    "Flu",
+    "Asthma",
+    "Diabetes",
+    "Hypertension",
+    "Migraine",
+    "Allergy",
+]
+
+
+def _skewed_choice(
+    rng: np.random.Generator, values: Sequence[str], size: int, skew: float = 1.2
+) -> list[str]:
+    """Draw ``size`` values with Zipf-like popularity over ``values``."""
+    ranks = np.arange(1, len(values) + 1, dtype=float)
+    weights = 1.0 / np.power(ranks, skew)
+    weights /= weights.sum()
+    picks = rng.choice(len(values), size=size, p=weights)
+    return [values[i] for i in picks]
+
+
+def generate_adult_like(
+    n_records: int = 1000,
+    seed: int = 7,
+    include_sensitive: bool = True,
+    name: str = "adult-like",
+) -> Dataset:
+    """Generate a census-like relational dataset.
+
+    Attributes: ``Age`` and ``Hours`` (numeric quasi-identifiers),
+    ``Workclass``, ``Education``, ``Marital``, ``Occupation``, ``Gender``
+    (categorical quasi-identifiers) and, optionally, a non-quasi-identifier
+    sensitive attribute ``Disease``.
+    """
+    if n_records <= 0:
+        raise DatasetError("n_records must be positive")
+    rng = np.random.default_rng(seed)
+
+    ages = np.clip(rng.normal(38, 13, size=n_records).round(), 17, 90).astype(int)
+    hours = np.clip(rng.normal(40, 10, size=n_records).round(), 1, 99).astype(int)
+    workclass = _skewed_choice(rng, WORKCLASS_VALUES, n_records, skew=1.0)
+    education = _skewed_choice(rng, EDUCATION_VALUES, n_records, skew=0.8)
+    marital = _skewed_choice(rng, MARITAL_VALUES, n_records, skew=0.7)
+    occupation = _skewed_choice(rng, OCCUPATION_VALUES, n_records, skew=0.9)
+    gender = _skewed_choice(rng, GENDER_VALUES, n_records, skew=0.3)
+
+    attributes = [
+        Attribute.numeric("Age"),
+        Attribute.numeric("Hours"),
+        Attribute.categorical("Workclass"),
+        Attribute.categorical("Education"),
+        Attribute.categorical("Marital"),
+        Attribute.categorical("Occupation"),
+        Attribute.categorical("Gender"),
+    ]
+    if include_sensitive:
+        attributes.append(Attribute.categorical("Disease", quasi_identifier=False))
+        disease = _skewed_choice(rng, DISEASE_VALUES, n_records, skew=0.6)
+
+    dataset = Dataset(Schema(attributes), name=name)
+    for i in range(n_records):
+        row = {
+            "Age": int(ages[i]),
+            "Hours": int(hours[i]),
+            "Workclass": workclass[i],
+            "Education": education[i],
+            "Marital": marital[i],
+            "Occupation": occupation[i],
+            "Gender": gender[i],
+        }
+        if include_sensitive:
+            row["Disease"] = disease[i]
+        dataset.append(row)
+    return dataset
+
+
+def generate_market_basket(
+    n_records: int = 1000,
+    n_items: int = 60,
+    avg_items_per_record: float = 4.0,
+    seed: int = 11,
+    item_prefix: str = "i",
+    attribute_name: str = "Items",
+    name: str = "market-basket",
+) -> Dataset:
+    """Generate a transaction dataset with a long-tailed item distribution.
+
+    Item popularity follows a Zipf-like law (a few very frequent items, a long
+    tail of rare ones), which is the regime where k^m-anonymity algorithms
+    differ most — exactly what SECRETA's comparison mode is meant to surface.
+    """
+    if n_records <= 0 or n_items <= 0:
+        raise DatasetError("n_records and n_items must be positive")
+    if avg_items_per_record <= 0:
+        raise DatasetError("avg_items_per_record must be positive")
+    rng = np.random.default_rng(seed)
+
+    items = [f"{item_prefix}{index:03d}" for index in range(n_items)]
+    ranks = np.arange(1, n_items + 1, dtype=float)
+    weights = 1.0 / np.power(ranks, 1.1)
+    weights /= weights.sum()
+
+    dataset = Dataset(
+        Schema([Attribute.transaction(attribute_name)]), name=name
+    )
+    for _ in range(n_records):
+        basket_size = max(1, int(rng.poisson(avg_items_per_record)))
+        basket_size = min(basket_size, n_items)
+        picks = rng.choice(n_items, size=basket_size, replace=False, p=weights)
+        dataset.append({attribute_name: [items[i] for i in picks]})
+    return dataset
+
+
+def generate_rt_dataset(
+    n_records: int = 1000,
+    n_items: int = 60,
+    avg_items_per_record: float = 4.0,
+    seed: int = 13,
+    include_sensitive: bool = True,
+    transaction_attribute: str = "Items",
+    name: str = "rt-dataset",
+) -> Dataset:
+    """Generate an RT-dataset: census-like relational part + market basket.
+
+    This mirrors the "ready-to-use RT-dataset" loaded at the start of the
+    demonstration (Section 3): each record describes an individual through
+    demographic quasi-identifiers plus a set-valued attribute of items
+    (purchases or diagnosis codes).
+    """
+    relational = generate_adult_like(
+        n_records=n_records,
+        seed=seed,
+        include_sensitive=include_sensitive,
+        name=name,
+    )
+    baskets = generate_market_basket(
+        n_records=n_records,
+        n_items=n_items,
+        avg_items_per_record=avg_items_per_record,
+        seed=seed + 1,
+        attribute_name=transaction_attribute,
+    )
+    relational.add_attribute(
+        Attribute.transaction(transaction_attribute),
+        values=[record[transaction_attribute] for record in baskets],
+    )
+    return relational
+
+
+def toy_rt_dataset() -> Dataset:
+    """A tiny, hand-written RT-dataset used in documentation and tests."""
+    schema = Schema(
+        [
+            Attribute.numeric("Age"),
+            Attribute.categorical("Education"),
+            Attribute.transaction("Items"),
+        ]
+    )
+    rows = [
+        {"Age": 25, "Education": "Bachelors", "Items": ["bread", "milk"]},
+        {"Age": 27, "Education": "Bachelors", "Items": ["bread", "beer"]},
+        {"Age": 34, "Education": "Masters", "Items": ["milk", "beer", "wine"]},
+        {"Age": 39, "Education": "Masters", "Items": ["wine"]},
+        {"Age": 45, "Education": "HS-grad", "Items": ["bread", "milk", "wine"]},
+        {"Age": 48, "Education": "HS-grad", "Items": ["beer"]},
+        {"Age": 52, "Education": "Doctorate", "Items": ["milk", "wine"]},
+        {"Age": 58, "Education": "Doctorate", "Items": ["bread"]},
+    ]
+    return Dataset(schema, rows, name="toy-rt")

@@ -1,0 +1,49 @@
+"""The SECRETA backend: configurations, execution, evaluation and comparison."""
+
+from repro.engine.anonymizer import AnonymizationModule
+from repro.engine.comparator import MethodComparator
+from repro.engine.config import (
+    SWEEPABLE_PARAMETERS,
+    AnonymizationConfig,
+    relational_config,
+    rt_config,
+    transaction_config,
+)
+from repro.engine.evaluator import MethodEvaluator
+from repro.engine.experiment import (
+    SWEEP_INDICATORS,
+    ParameterSweep,
+    VaryingParameterExperiment,
+    indicator_series,
+)
+from repro.engine.resources import ExperimentResources
+from repro.engine.results import (
+    ComparisonReport,
+    EvaluationReport,
+    Series,
+    SweepResult,
+    merge_series,
+)
+from repro.engine.runner import run_many
+
+__all__ = [
+    "AnonymizationModule",
+    "MethodComparator",
+    "MethodEvaluator",
+    "SWEEPABLE_PARAMETERS",
+    "SWEEP_INDICATORS",
+    "AnonymizationConfig",
+    "relational_config",
+    "rt_config",
+    "transaction_config",
+    "ParameterSweep",
+    "VaryingParameterExperiment",
+    "indicator_series",
+    "ExperimentResources",
+    "ComparisonReport",
+    "EvaluationReport",
+    "Series",
+    "SweepResult",
+    "merge_series",
+    "run_many",
+]

@@ -1,0 +1,72 @@
+"""The Method Comparator: SECRETA's Comparison mode.
+
+The Comparison mode lets the data publisher design a benchmark: a set of
+configurations (each pairing algorithms, a bounding method and fixed
+parameters) plus a varying parameter with its start/end/step.  Every
+configuration is executed across the sweep and the results are collected into
+per-indicator series so they can be plotted side by side — "an interactive
+and progressive comparison of sets of algorithms, with respect to their
+utility and efficiency".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.datasets.dataset import Dataset
+from repro.engine.config import AnonymizationConfig
+from repro.engine.experiment import ParameterSweep, VaryingParameterExperiment
+from repro.engine.resources import ExperimentResources
+from repro.engine.results import ComparisonReport, SweepResult
+from repro.engine.runner import run_many
+from repro.exceptions import ConfigurationError
+
+
+class MethodComparator:
+    """Execute and compare multiple configurations over a parameter sweep."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        resources: ExperimentResources | None = None,
+        verify_privacy: bool = False,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ):
+        self.dataset = dataset
+        self.resources = resources or ExperimentResources()
+        self.verify_privacy = verify_privacy
+        self.parallel = parallel
+        self.max_workers = max_workers
+
+    def compare(
+        self,
+        configurations: Sequence[AnonymizationConfig] | Iterable[AnonymizationConfig],
+        sweep: ParameterSweep,
+    ) -> ComparisonReport:
+        """Run every configuration across the sweep and collect the series."""
+        configurations = list(configurations)
+        if not configurations:
+            raise ConfigurationError("the Comparison mode needs at least one configuration")
+
+        def run_one(config: AnonymizationConfig) -> SweepResult:
+            experiment = VaryingParameterExperiment(
+                self.dataset, self.resources, verify_privacy=self.verify_privacy
+            )
+            return experiment.run(config, sweep)
+
+        sweeps = run_many(
+            configurations,
+            run_one,
+            parallel=self.parallel,
+            max_workers=self.max_workers,
+        )
+        return ComparisonReport(
+            parameter=sweep.parameter, values=list(sweep.values), sweeps=list(sweeps)
+        )
+
+    def compare_fixed(
+        self, configurations: Sequence[AnonymizationConfig], parameter: str, value
+    ) -> ComparisonReport:
+        """Single-parameter-value comparison (a degenerate sweep of length one)."""
+        return self.compare(configurations, ParameterSweep(parameter, (value,)))

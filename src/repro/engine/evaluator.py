@@ -1,0 +1,186 @@
+"""The Method Evaluator: SECRETA's Evaluation mode.
+
+Given a dataset, prepared resources and one configuration, the evaluator runs
+the configured algorithm(s) and derives every indicator the Evaluation screen
+can plot:
+
+* ARE of the query workload on the anonymized data,
+* information-loss measures for the relational side (GCP, discernibility,
+  average class size) and the transaction side (UL, item-frequency error),
+* the privacy status (minimum class size, k^m / (k, k^m) verification),
+* total and per-phase runtime,
+* the frequency of generalized values per relational attribute and the
+  relative error of transaction item frequencies (the Figure 3 plots).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.statistics import generalized_value_frequencies
+from repro.engine.anonymizer import AnonymizationModule
+from repro.engine.config import AnonymizationConfig
+from repro.engine.resources import ExperimentResources
+from repro.engine.results import EvaluationReport
+from repro.metrics.privacy_checks import (
+    is_k_anonymous,
+    is_k_km_anonymous,
+    is_km_anonymous,
+    min_class_size,
+)
+from repro.metrics.relational import (
+    average_class_size,
+    discernibility_metric,
+    global_certainty_penalty,
+)
+from repro.metrics.transaction import (
+    average_item_frequency_error,
+    item_frequency_error,
+    utility_loss,
+)
+from repro.queries.are import average_relative_error
+
+
+class MethodEvaluator:
+    """Evaluate a single anonymization configuration (Evaluation mode)."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        resources: ExperimentResources | None = None,
+        verify_privacy: bool = True,
+        km_check_limit: int = 40,
+    ):
+        self.dataset = dataset
+        self.resources = resources or ExperimentResources()
+        self.verify_privacy = verify_privacy
+        #: k^m / (k,k^m) verification is exponential in the universe size; it
+        #: is skipped (reported as ``None``) when the item universe exceeds
+        #: this limit, exactly like a GUI would avoid freezing on huge data.
+        self.km_check_limit = km_check_limit
+
+    # -- indicator computation ----------------------------------------------------
+    def _relational_attributes(self, config: AnonymizationConfig) -> list[str]:
+        if config.relational_attributes is not None:
+            return list(config.relational_attributes)
+        return [
+            attribute.name
+            for attribute in self.dataset.schema.relational
+            if attribute.quasi_identifier
+        ]
+
+    def _transaction_attribute(self, config: AnonymizationConfig) -> str | None:
+        if config.transaction_attribute:
+            return config.transaction_attribute
+        names = self.dataset.schema.transaction_names
+        return names[0] if names else None
+
+    def _utility_indicators(
+        self, config: AnonymizationConfig, anonymized: Dataset
+    ) -> dict[str, float]:
+        indicators: dict[str, float] = {}
+        if config.relational_algorithm is not None:
+            attributes = self._relational_attributes(config)
+            indicators["relational_gcp"] = global_certainty_penalty(
+                self.dataset, anonymized, attributes, self.resources.hierarchies
+            )
+            indicators["discernibility"] = float(
+                discernibility_metric(anonymized, attributes)
+            )
+            indicators["average_class_size"] = average_class_size(
+                anonymized, config.k, attributes
+            )
+        transaction_attribute = self._transaction_attribute(config)
+        if config.transaction_algorithm is not None and transaction_attribute:
+            indicators["transaction_ul"] = utility_loss(
+                self.dataset,
+                anonymized,
+                attribute=transaction_attribute,
+                hierarchy=self.resources.item_hierarchy,
+            )
+            indicators["item_frequency_error"] = average_item_frequency_error(
+                self.dataset,
+                anonymized,
+                attribute=transaction_attribute,
+                hierarchy=self.resources.item_hierarchy,
+            )
+        return indicators
+
+    def _privacy_status(
+        self, config: AnonymizationConfig, anonymized: Dataset
+    ) -> dict:
+        status: dict = {"k": config.k}
+        attributes = self._relational_attributes(config)
+        transaction_attribute = self._transaction_attribute(config)
+        universe = (
+            self.dataset.item_universe(transaction_attribute)
+            if transaction_attribute
+            else set()
+        )
+        km_feasible = len(universe) <= self.km_check_limit
+        if config.relational_algorithm is not None:
+            status["min_class_size"] = min_class_size(anonymized, attributes)
+            status["k_anonymous"] = is_k_anonymous(anonymized, config.k, attributes)
+        if config.transaction_algorithm is not None and transaction_attribute:
+            status["m"] = config.m
+            if not self.verify_privacy or not km_feasible:
+                status["km_anonymous"] = None
+            elif config.mode == "rt":
+                status["k_km_anonymous"] = is_k_km_anonymous(
+                    anonymized,
+                    config.k,
+                    config.m,
+                    relational_attributes=attributes,
+                    transaction_attribute=transaction_attribute,
+                    hierarchy=self.resources.item_hierarchy,
+                    universe=universe,
+                )
+            else:
+                status["km_anonymous"] = is_km_anonymous(
+                    anonymized,
+                    config.k,
+                    config.m,
+                    attribute=transaction_attribute,
+                    hierarchy=self.resources.item_hierarchy,
+                    universe=universe,
+                )
+        return status
+
+    # -- main -------------------------------------------------------------------------
+    def evaluate(self, config: AnonymizationConfig) -> EvaluationReport:
+        """Run the configuration and compute every Evaluation-mode indicator."""
+        module = AnonymizationModule(self.dataset, self.resources)
+        result = module.run(config)
+        anonymized = result.dataset
+
+        transaction_attribute = self._transaction_attribute(config)
+        hierarchies = self.resources.hierarchies_with_items(transaction_attribute)
+        are_result = average_relative_error(
+            self.resources.workload, self.dataset, anonymized, hierarchies=hierarchies
+        )
+
+        generalized_frequencies = {}
+        if config.relational_algorithm is not None:
+            for attribute in self._relational_attributes(config):
+                generalized_frequencies[attribute] = generalized_value_frequencies(
+                    anonymized, attribute
+                )
+        item_errors: dict[str, float] = {}
+        if config.transaction_algorithm is not None and transaction_attribute:
+            item_errors = item_frequency_error(
+                self.dataset,
+                anonymized,
+                attribute=transaction_attribute,
+                hierarchy=self.resources.item_hierarchy,
+            )
+
+        return EvaluationReport(
+            configuration=config.describe(),
+            result=result,
+            utility=self._utility_indicators(config, anonymized),
+            privacy=self._privacy_status(config, anonymized),
+            are=are_result.are,
+            runtime_seconds=result.runtime_seconds,
+            phase_seconds=dict(result.phase_seconds),
+            generalized_value_frequencies=generalized_frequencies,
+            item_frequency_errors=item_errors,
+        )

@@ -1,0 +1,131 @@
+"""Varying-parameter execution (the Experimentation Module).
+
+SECRETA supports two execution styles: *single parameter execution*, where
+all parameters are fixed, and *varying parameter execution*, where the user
+"selects the start/end values and step of a parameter that varies, as well as
+fixed values for other parameters" and the system plots utility indicators
+and runtime against the varying parameter.  This module implements the sweep
+machinery used by both the Evaluation and the Comparison mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.datasets.dataset import Dataset
+from repro.engine.config import SWEEPABLE_PARAMETERS, AnonymizationConfig
+from repro.engine.evaluator import MethodEvaluator
+from repro.engine.resources import ExperimentResources
+from repro.engine.results import EvaluationReport, Series, SweepResult
+from repro.exceptions import ConfigurationError
+
+#: Indicators extracted from every evaluation report into sweep series.
+SWEEP_INDICATORS = (
+    "are",
+    "runtime_seconds",
+    "relational_gcp",
+    "transaction_ul",
+    "item_frequency_error",
+    "discernibility",
+    "average_class_size",
+)
+
+
+@dataclass(frozen=True)
+class ParameterSweep:
+    """The varying parameter of an experiment: name plus the values to visit."""
+
+    parameter: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if self.parameter not in SWEEPABLE_PARAMETERS:
+            raise ConfigurationError(
+                f"cannot vary {self.parameter!r}; expected one of {SWEEPABLE_PARAMETERS}"
+            )
+        if not self.values:
+            raise ConfigurationError("a parameter sweep needs at least one value")
+        object.__setattr__(self, "values", tuple(self.values))
+
+    @classmethod
+    def from_range(
+        cls, parameter: str, start: float, end: float, step: float
+    ) -> "ParameterSweep":
+        """Build a sweep from start/end/step, exactly like the GUI sliders."""
+        if step <= 0:
+            raise ConfigurationError("the sweep step must be positive")
+        if end < start:
+            raise ConfigurationError("the sweep end must not precede its start")
+        values: list[float] = []
+        value = float(start)
+        while value <= end + 1e-9:
+            values.append(round(value, 10))
+            value += step
+        if parameter in ("k", "m"):
+            values = [int(round(v)) for v in values]
+        return cls(parameter, tuple(values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def indicator_series(
+    reports: Sequence[EvaluationReport],
+    values: Sequence[Any],
+    parameter: str,
+    label: str,
+) -> dict[str, Series]:
+    """Build one series per indicator from a list of evaluation reports."""
+    series: dict[str, Series] = {}
+    for indicator in SWEEP_INDICATORS:
+        current = Series(
+            name=f"{label}:{indicator}", x_label=parameter, y_label=indicator
+        )
+        populated = False
+        for value, report in zip(values, reports):
+            if indicator == "are":
+                current.append(value, report.are)
+                populated = True
+            elif indicator == "runtime_seconds":
+                current.append(value, report.runtime_seconds)
+                populated = True
+            elif indicator in report.utility:
+                current.append(value, report.utility[indicator])
+                populated = True
+        if populated:
+            series[indicator] = current
+    return series
+
+
+class VaryingParameterExperiment:
+    """Run one configuration across a parameter sweep and collect series."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        resources: ExperimentResources | None = None,
+        verify_privacy: bool = False,
+    ):
+        self.dataset = dataset
+        self.resources = resources or ExperimentResources()
+        self.verify_privacy = verify_privacy
+
+    def run(self, config: AnonymizationConfig, sweep: ParameterSweep) -> SweepResult:
+        evaluator = MethodEvaluator(
+            self.dataset, self.resources, verify_privacy=self.verify_privacy
+        )
+        reports: list[EvaluationReport] = []
+        for value in sweep.values:
+            derived = config.with_parameter(sweep.parameter, value)
+            reports.append(evaluator.evaluate(derived))
+        series = indicator_series(
+            reports, list(sweep.values), sweep.parameter, config.display_label
+        )
+        return SweepResult(
+            configuration=config.describe(),
+            parameter=sweep.parameter,
+            values=list(sweep.values),
+            series=series,
+            reports=reports,
+        )

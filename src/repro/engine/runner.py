@@ -1,0 +1,39 @@
+"""Execution of multiple anonymization requests, sequentially or in parallel.
+
+SECRETA's backend "invokes one or more instances (threads) of the
+Anonymization Module" and collects their results.  The pure-Python equivalent
+uses a thread pool; because the algorithms are CPU-bound Python code the
+parallel mode mostly helps when the per-run work releases the GIL (NumPy) or
+when results are produced incrementally, so sequential execution remains the
+default.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+
+def run_many(
+    tasks: Sequence[TaskT] | Iterable[TaskT],
+    worker: Callable[[TaskT], ResultT],
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> list[ResultT]:
+    """Apply ``worker`` to every task, preserving input order.
+
+    With ``parallel=True`` a thread pool of ``max_workers`` threads (default:
+    one per task, capped at 8) is used, mirroring the N anonymization-module
+    instances of the SECRETA architecture diagram.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if not parallel or len(tasks) == 1:
+        return [worker(task) for task in tasks]
+    workers = max_workers or min(len(tasks), 8)
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(worker, tasks))

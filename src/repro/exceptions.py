@@ -1,0 +1,49 @@
+"""Exception hierarchy for the SECRETA reproduction library.
+
+Every error raised deliberately by the library derives from
+:class:`SecretaError`, so callers can guard an entire workflow with a single
+``except SecretaError`` clause while still being able to distinguish
+configuration problems from data problems or privacy violations.
+"""
+
+from __future__ import annotations
+
+
+class SecretaError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DatasetError(SecretaError):
+    """A dataset is malformed or an operation on it is invalid."""
+
+
+class SchemaError(DatasetError):
+    """An attribute reference does not match the dataset schema."""
+
+
+class HierarchyError(SecretaError):
+    """A generalization hierarchy is malformed or incomplete."""
+
+
+class PolicyError(SecretaError):
+    """A privacy or utility policy is malformed or unsatisfiable."""
+
+
+class QueryError(SecretaError):
+    """A query or query workload is malformed."""
+
+
+class ConfigurationError(SecretaError):
+    """An anonymization configuration is invalid for the selected algorithm."""
+
+
+class AlgorithmError(SecretaError):
+    """An anonymization algorithm failed to produce a valid result."""
+
+
+class PrivacyViolationError(AlgorithmError):
+    """An anonymization result does not satisfy its declared privacy model."""
+
+
+class ExportError(SecretaError):
+    """Exporting datasets, results or figures to disk failed."""

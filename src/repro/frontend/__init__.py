@@ -1,0 +1,31 @@
+"""Headless frontend: session facade, editors, text plotting and export."""
+
+from repro.frontend.editors import ConfigurationEditor, QueriesEditor
+from repro.frontend.export import DataExportModule, export_figure, export_json, export_series_csv
+from repro.frontend.plotting import (
+    Figure,
+    comparison_figure,
+    frequency_figure,
+    phase_runtime_figure,
+    render_bar_chart,
+    render_histogram,
+    render_line_chart,
+)
+from repro.frontend.session import Session
+
+__all__ = [
+    "ConfigurationEditor",
+    "QueriesEditor",
+    "DataExportModule",
+    "export_figure",
+    "export_json",
+    "export_series_csv",
+    "Figure",
+    "comparison_figure",
+    "frequency_figure",
+    "phase_runtime_figure",
+    "render_bar_chart",
+    "render_histogram",
+    "render_line_chart",
+    "Session",
+]

@@ -1,0 +1,161 @@
+"""Headless counterparts of SECRETA's Configuration and Queries editors.
+
+The Dataset Editor lives in :mod:`repro.datasets.editor`; this module adds
+the remaining two frontend panes:
+
+* :class:`ConfigurationEditor` — loads, browses, edits and generates
+  hierarchies and privacy/utility policies (the top-mid pane of the main
+  screen), and
+* :class:`QueriesEditor` — loads, edits and generates query workloads (the
+  top-right pane).
+
+Both produce the objects consumed by :class:`repro.engine.ExperimentResources`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import ConfigurationError, QueryError
+from repro.hierarchy.builders import build_hierarchies_for_dataset
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.io import load_hierarchies, load_hierarchy, save_hierarchies
+from repro.policies.generation import generate_privacy_policy, generate_utility_policy
+from repro.policies.io import (
+    load_privacy_policy,
+    load_utility_policy,
+    save_privacy_policy,
+    save_utility_policy,
+)
+from repro.policies.privacy import PrivacyPolicy
+from repro.policies.utility import UtilityPolicy
+from repro.queries.query import Query
+from repro.queries.workload import QueryWorkload, generate_query_workload
+
+
+class ConfigurationEditor:
+    """Manage hierarchies and policies for a dataset."""
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+        self.hierarchies: dict[str, Hierarchy] = {}
+        self.privacy_policy: PrivacyPolicy | None = None
+        self.utility_policy: UtilityPolicy | None = None
+
+    # -- hierarchies ---------------------------------------------------------------
+    def load_hierarchy(self, attribute: str, path: str | Path) -> Hierarchy:
+        hierarchy = load_hierarchy(path, attribute=attribute)
+        self.hierarchies[attribute] = hierarchy
+        return hierarchy
+
+    def load_hierarchy_directory(self, directory: str | Path) -> dict[str, Hierarchy]:
+        loaded = load_hierarchies(directory)
+        self.hierarchies.update(loaded)
+        return loaded
+
+    def generate_hierarchies(
+        self, attributes: Sequence[str] | None = None, fanout: int = 4
+    ) -> dict[str, Hierarchy]:
+        generated = build_hierarchies_for_dataset(
+            self.dataset, fanout=fanout, attributes=attributes
+        )
+        self.hierarchies.update(generated)
+        return generated
+
+    def save_hierarchies(self, directory: str | Path) -> dict[str, Path]:
+        if not self.hierarchies:
+            raise ConfigurationError("no hierarchies to save")
+        return save_hierarchies(self.hierarchies, directory)
+
+    def browse_hierarchy(self, attribute: str) -> list[list[str]]:
+        """Leaf-to-root paths of one hierarchy (what the GUI tree view shows)."""
+        if attribute not in self.hierarchies:
+            raise ConfigurationError(f"no hierarchy loaded for {attribute!r}")
+        return self.hierarchies[attribute].to_mapping_rows()
+
+    # -- policies --------------------------------------------------------------------
+    def load_privacy_policy(self, path: str | Path) -> PrivacyPolicy:
+        self.privacy_policy = load_privacy_policy(path)
+        return self.privacy_policy
+
+    def load_utility_policy(self, path: str | Path) -> UtilityPolicy:
+        self.utility_policy = load_utility_policy(path)
+        return self.utility_policy
+
+    def generate_policies(
+        self,
+        k: int,
+        privacy_strategy: str = "items",
+        utility_strategy: str = "frequency",
+        attribute: str | None = None,
+        group_size: int = 4,
+    ) -> tuple[PrivacyPolicy, UtilityPolicy]:
+        attribute = attribute or self.dataset.single_transaction_attribute()
+        self.privacy_policy = generate_privacy_policy(
+            self.dataset, k=k, strategy=privacy_strategy, attribute=attribute
+        )
+        self.utility_policy = generate_utility_policy(
+            self.dataset,
+            strategy=utility_strategy,
+            attribute=attribute,
+            group_size=group_size,
+            hierarchy=self.hierarchies.get(attribute),
+        )
+        return self.privacy_policy, self.utility_policy
+
+    def save_policies(self, directory: str | Path) -> dict[str, Path]:
+        directory = Path(directory)
+        written: dict[str, Path] = {}
+        if self.privacy_policy is not None:
+            written["privacy"] = save_privacy_policy(
+                self.privacy_policy, directory / "privacy_policy.txt"
+            )
+        if self.utility_policy is not None:
+            written["utility"] = save_utility_policy(
+                self.utility_policy, directory / "utility_policy.txt"
+            )
+        if not written:
+            raise ConfigurationError("no policies to save")
+        return written
+
+
+class QueriesEditor:
+    """Manage the query workload used by the ARE utility indicator."""
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+        self.workload: QueryWorkload | None = None
+
+    def load(self, path: str | Path) -> QueryWorkload:
+        self.workload = QueryWorkload.load(path)
+        return self.workload
+
+    def generate(self, n_queries: int = 50, seed: int = 0, **kwargs) -> QueryWorkload:
+        self.workload = generate_query_workload(
+            self.dataset, n_queries=n_queries, seed=seed, **kwargs
+        )
+        return self.workload
+
+    def add_query(self, query: Query) -> None:
+        if self.workload is None:
+            self.workload = QueryWorkload([query])
+        else:
+            self.workload.add(query)
+
+    def remove_query(self, index: int) -> None:
+        if self.workload is None:
+            raise QueryError("no workload loaded")
+        self.workload.remove(index)
+
+    def save(self, path: str | Path) -> Path:
+        if self.workload is None:
+            raise QueryError("no workload to save")
+        return self.workload.save(path)
+
+    def describe(self) -> list[str]:
+        """One human-readable line per query (the workload list widget)."""
+        if self.workload is None:
+            return []
+        return [query.describe() for query in self.workload]

@@ -1,0 +1,158 @@
+"""The Data Export Module.
+
+SECRETA "allows exporting datasets, hierarchies, policies, and query
+workloads, in CSV format, and graphs, in PDF, JPG, BMP or PNG format".  The
+headless equivalent writes datasets/hierarchies/policies/workloads in their
+CSV / text formats and exports figures both as plain-text renderings and as
+the CSV/JSON series that back them (no binary image formats are produced in
+this offline reproduction — the numbers are the artefact of record).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.datasets.csv_io import save_csv
+from repro.datasets.dataset import Dataset
+from repro.engine.results import ComparisonReport, EvaluationReport, Series, SweepResult
+from repro.exceptions import ExportError
+from repro.frontend.plotting import Figure, comparison_figure, phase_runtime_figure
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.io import save_hierarchies
+from repro.policies.io import save_privacy_policy, save_utility_policy
+from repro.policies.privacy import PrivacyPolicy
+from repro.policies.utility import UtilityPolicy
+from repro.queries.workload import QueryWorkload
+
+
+def _ensure_directory(directory: str | Path) -> Path:
+    directory = Path(directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        raise ExportError(f"cannot create export directory {directory}: {error}") from error
+    return directory
+
+
+def export_series_csv(series: Series, path: str | Path) -> Path:
+    """Write one series as a two-column CSV file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([series.x_label, series.y_label])
+        for x_value, y_value in series.rows():
+            writer.writerow([x_value, y_value])
+    return path
+
+
+def export_figure(figure: Figure, directory: str | Path, stem: str) -> dict[str, Path]:
+    """Write a figure as text rendering, JSON series and CSV table."""
+    directory = _ensure_directory(directory)
+    text_path = directory / f"{stem}.txt"
+    json_path = directory / f"{stem}.json"
+    csv_path = directory / f"{stem}.csv"
+    text_path.write_text(figure.to_text(), encoding="utf-8")
+    json_path.write_text(json.dumps(figure.as_dict(), indent=2), encoding="utf-8")
+    rows = figure.to_rows()
+    with csv_path.open("w", encoding="utf-8", newline="") as handle:
+        if rows:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+    return {"text": text_path, "json": json_path, "csv": csv_path}
+
+
+def export_json(data: Mapping[str, Any] | list, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, default=str), encoding="utf-8")
+    return path
+
+
+class DataExportModule:
+    """Exports every artefact of a SECRETA session into one directory tree."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = _ensure_directory(directory)
+
+    # -- inputs ------------------------------------------------------------------
+    def export_dataset(self, dataset: Dataset, name: str | None = None) -> Path:
+        return save_csv(dataset, self.directory / f"{name or dataset.name}.csv")
+
+    def export_hierarchies(self, hierarchies: Mapping[str, Hierarchy]) -> dict[str, Path]:
+        return save_hierarchies(hierarchies, self.directory / "hierarchies")
+
+    def export_policies(
+        self,
+        privacy_policy: PrivacyPolicy | None = None,
+        utility_policy: UtilityPolicy | None = None,
+    ) -> dict[str, Path]:
+        written: dict[str, Path] = {}
+        if privacy_policy is not None:
+            written["privacy"] = save_privacy_policy(
+                privacy_policy, self.directory / "privacy_policy.txt"
+            )
+        if utility_policy is not None:
+            written["utility"] = save_utility_policy(
+                utility_policy, self.directory / "utility_policy.txt"
+            )
+        return written
+
+    def export_workload(self, workload: QueryWorkload) -> Path:
+        return workload.save(self.directory / "workload.json")
+
+    # -- results ------------------------------------------------------------------
+    def export_evaluation(self, report: EvaluationReport, stem: str = "evaluation") -> dict[str, Path]:
+        """Write the anonymized dataset, the summary and the per-phase figure."""
+        written: dict[str, Path] = {}
+        written["anonymized"] = save_csv(
+            report.anonymized, self.directory / f"{stem}_anonymized.csv"
+        )
+        written["summary"] = export_json(
+            {
+                "configuration": report.configuration,
+                "are": report.are,
+                "utility": report.utility,
+                "privacy": report.privacy,
+                "runtime_seconds": report.runtime_seconds,
+                "phase_seconds": report.phase_seconds,
+                "statistics": {
+                    key: value
+                    for key, value in report.result.statistics.items()
+                    if key != "cluster_assignment"
+                },
+            },
+            self.directory / f"{stem}_summary.json",
+        )
+        figure = phase_runtime_figure(report.phase_seconds)
+        written.update(
+            {
+                f"phases_{kind}": path
+                for kind, path in export_figure(figure, self.directory, f"{stem}_phases").items()
+            }
+        )
+        return written
+
+    def export_sweep(self, sweep: SweepResult, stem: str = "sweep") -> dict[str, Path]:
+        written: dict[str, Path] = {}
+        written["summary"] = export_json(sweep.as_dict(), self.directory / f"{stem}.json")
+        for indicator, series in sweep.series.items():
+            written[indicator] = export_series_csv(
+                series, self.directory / f"{stem}_{indicator}.csv"
+            )
+        return written
+
+    def export_comparison(
+        self, report: ComparisonReport, stem: str = "comparison"
+    ) -> dict[str, Path]:
+        written: dict[str, Path] = {}
+        written["summary"] = export_json(report.as_dict(), self.directory / f"{stem}.json")
+        for indicator in report.indicators():
+            figure = comparison_figure(report, indicator)
+            paths = export_figure(figure, self.directory, f"{stem}_{indicator}")
+            written.update({f"{indicator}_{kind}": path for kind, path in paths.items()})
+        return written

@@ -1,0 +1,201 @@
+"""Text-based plotting: the headless counterpart of SECRETA's Plotting Module.
+
+The GUI renders QWT charts; this library produces the same information as
+
+* structured :class:`~repro.engine.results.Series` objects (the numbers behind
+  every plot, exportable to CSV/JSON), and
+* ASCII renderings for terminals, log files and the examples in this
+  repository.
+
+Supported chart types mirror the demo: histograms of attribute values, bar
+charts of per-phase runtimes, and line charts of utility indicators or
+runtime against a varying parameter (one curve per configuration in the
+Comparison mode).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.engine.results import ComparisonReport, Series
+
+_BLOCK = "█"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_bar_chart(
+    labels: Sequence[Any],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    max_rows: int | None = None,
+) -> str:
+    """Horizontal ASCII bar chart (used for histograms and phase runtimes)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    rows = list(zip(labels, values))
+    if max_rows is not None:
+        rows = rows[:max_rows]
+    if not rows:
+        return f"{title}\n(no data)\n" if title else "(no data)\n"
+    longest_label = max(len(str(label)) for label, _ in rows)
+    largest = max((abs(float(value)) for _, value in rows), default=0.0)
+    lines = [title] if title else []
+    for label, value in rows:
+        value = float(value)
+        filled = 0 if largest == 0 else int(round(width * abs(value) / largest))
+        bar = _BLOCK * max(filled, 1 if value else 0)
+        lines.append(f"{str(label):>{longest_label}} | {bar} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_histogram(histogram: Mapping[str, Any], width: int = 40) -> str:
+    """Render the output of :func:`repro.datasets.attribute_histogram`."""
+    title = f"Histogram of {histogram.get('attribute', '')}"
+    if histogram.get("kind") == "numeric":
+        edges = histogram.get("edges", [])
+        counts = histogram.get("counts", [])
+        labels = [
+            f"[{_format_value(low)},{_format_value(high)})"
+            for low, high in zip(edges[:-1], edges[1:])
+        ]
+        return render_bar_chart(labels, counts, title=title, width=width)
+    return render_bar_chart(
+        histogram.get("labels", []), histogram.get("counts", []), title=title, width=width
+    )
+
+
+def render_line_chart(
+    series_list: Sequence[Series],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """ASCII line chart of one or more series sharing the same x values."""
+    series_list = [series for series in series_list if len(series)]
+    if not series_list:
+        return f"{title}\n(no data)\n" if title else "(no data)\n"
+    markers = "ox+*#@%&"
+    all_y = [y for series in series_list for y in series.y if not math.isinf(y)]
+    if not all_y:
+        return f"{title}\n(no finite data)\n"
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    all_x = series_list[0].x
+    columns = min(width, max(len(all_x), 1))
+
+    grid = [[" "] * columns for _ in range(height)]
+    for series_position, series in enumerate(series_list):
+        marker = markers[series_position % len(markers)]
+        for point_position, y_value in enumerate(series.y):
+            if math.isinf(y_value):
+                continue
+            column = (
+                int(round(point_position * (columns - 1) / max(len(series.y) - 1, 1)))
+                if len(series.y) > 1
+                else 0
+            )
+            row = int(round((y_value - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines = [title] if title else []
+    lines.append(f"{_format_value(y_max):>10} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{_format_value(y_min):>10} ┤" + "".join(grid[-1]))
+    x_axis = " " * 10 + " └" + "─" * columns
+    lines.append(x_axis)
+    x_labels = (
+        f"{_format_value(all_x[0])} … {_format_value(all_x[-1])}"
+        if all_x
+        else ""
+    )
+    lines.append(" " * 12 + f"{series_list[0].x_label}: {x_labels}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {series.name}" for i, series in enumerate(series_list)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class Figure:
+    """A titled collection of series plus its rendered text form."""
+
+    title: str
+    series: list[Series] = field(default_factory=list)
+    kind: str = "line"  # "line" | "bar"
+
+    def add(self, series: Series) -> "Figure":
+        self.series.append(series)
+        return self
+
+    def to_text(self, width: int = 60, height: int = 16) -> str:
+        if self.kind == "bar":
+            if not self.series:
+                return f"{self.title}\n(no data)\n"
+            first = self.series[0]
+            return render_bar_chart(first.x, first.y, title=self.title, width=width)
+        return render_line_chart(self.series, title=self.title, width=width, height=height)
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Tabular form: one row per x value, one column per series."""
+        rows: list[dict[str, Any]] = []
+        if not self.series:
+            return rows
+        x_label = self.series[0].x_label
+        for position, x_value in enumerate(self.series[0].x):
+            row: dict[str, Any] = {x_label: x_value}
+            for series in self.series:
+                if position < len(series.y):
+                    row[series.name] = series.y[position]
+            rows.append(row)
+        return rows
+
+    def as_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "kind": self.kind,
+            "series": [series.as_dict() for series in self.series],
+        }
+
+
+def comparison_figure(report: ComparisonReport, indicator: str, title: str | None = None) -> Figure:
+    """One figure per indicator with one curve per configuration (Figure 4 style)."""
+    figure = Figure(title=title or f"{indicator} vs {report.parameter}")
+    for series in report.series_for(indicator):
+        figure.add(series)
+    return figure
+
+
+def phase_runtime_figure(phase_seconds: Mapping[str, float], title: str = "Runtime per phase") -> Figure:
+    """Bar chart of an algorithm's per-phase runtime (Figure 3(b) style)."""
+    series = Series(name="phase runtime", x_label="phase", y_label="seconds")
+    for phase, seconds in phase_seconds.items():
+        series.append(phase, seconds)
+    return Figure(title=title, series=[series], kind="bar")
+
+
+def frequency_figure(
+    frequencies: Mapping[str, float], title: str, max_rows: int = 20
+) -> Figure:
+    """Bar chart of value frequencies or per-item errors (Figure 3(c)/(d) style)."""
+    series = Series(name="frequency", x_label="value", y_label="count")
+    ordered = sorted(frequencies.items(), key=lambda pair: -pair[1])[:max_rows]
+    for label, value in ordered:
+        if math.isinf(value):
+            continue
+        series.append(label, value)
+    return Figure(title=title, series=[series], kind="bar")

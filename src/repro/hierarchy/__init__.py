@@ -1,0 +1,46 @@
+"""Generalization hierarchies, automatic builders, lattices and hierarchy I/O."""
+
+from repro.hierarchy.builders import (
+    ROOT_LABEL,
+    build_categorical_hierarchy,
+    build_hierarchies_for_dataset,
+    build_item_hierarchy,
+    build_numeric_hierarchy,
+    format_interval,
+    interval_bounds,
+    parse_interval,
+)
+from repro.hierarchy.hierarchy import Hierarchy, HierarchyBuilder, HierarchyNode
+from repro.hierarchy.io import (
+    hierarchy_from_paths,
+    load_hierarchies,
+    load_hierarchy,
+    read_hierarchy_text,
+    save_hierarchies,
+    save_hierarchy,
+    write_hierarchy_text,
+)
+from repro.hierarchy.lattice import GeneralizationLattice, LevelVector
+
+__all__ = [
+    "ROOT_LABEL",
+    "Hierarchy",
+    "HierarchyBuilder",
+    "HierarchyNode",
+    "GeneralizationLattice",
+    "LevelVector",
+    "build_categorical_hierarchy",
+    "build_hierarchies_for_dataset",
+    "build_item_hierarchy",
+    "build_numeric_hierarchy",
+    "format_interval",
+    "interval_bounds",
+    "parse_interval",
+    "hierarchy_from_paths",
+    "load_hierarchies",
+    "load_hierarchy",
+    "read_hierarchy_text",
+    "save_hierarchies",
+    "save_hierarchy",
+    "write_hierarchy_text",
+]

@@ -1,0 +1,215 @@
+"""Automatic construction of generalization hierarchies.
+
+SECRETA's Policy Specification Module "invokes algorithms that automatically
+generate hierarchies" when the data publisher does not supply them.  The
+builders here implement the standard constructions used in the literature:
+
+* numeric attributes — a balanced interval hierarchy obtained by recursively
+  splitting the sorted domain into ``fanout`` equally sized groups
+  (leaves are the distinct values, internal nodes are ``[low-high]`` labels),
+* categorical attributes and transaction item domains — a balanced fan-out
+  tree over the sorted distinct values (Terrovitis-style item hierarchies).
+
+Interval labels carry their numeric bounds so information-loss metrics can
+measure the width of a generalized numeric value without re-parsing labels.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import HierarchyError
+from repro.hierarchy.hierarchy import Hierarchy, HierarchyBuilder
+
+#: Label of the root ("anything") node used by generated hierarchies.
+ROOT_LABEL = "*"
+
+_INTERVAL_PATTERN = re.compile(
+    r"^\[\s*(-?\d+(?:\.\d+)?)\s*-\s*(-?\d+(?:\.\d+)?)\s*\]$"
+)
+
+
+def format_interval(low: float, high: float) -> str:
+    """Canonical label for the closed interval ``[low-high]``."""
+
+    def fmt(value: float) -> str:
+        value = float(value)
+        return str(int(value)) if value.is_integer() else str(value)
+
+    return f"[{fmt(low)}-{fmt(high)}]"
+
+
+def parse_interval(label: str) -> tuple[float, float] | None:
+    """Bounds of an interval label, or ``None`` if the label is not one."""
+    match = _INTERVAL_PATTERN.match(str(label).strip())
+    if not match:
+        return None
+    low, high = float(match.group(1)), float(match.group(2))
+    return (low, high) if low <= high else (high, low)
+
+
+def _split_groups(values: Sequence, fanout: int) -> list[list]:
+    """Split ``values`` into at most ``fanout`` contiguous, balanced groups."""
+    groups = np.array_split(np.arange(len(values)), min(fanout, len(values)))
+    return [[values[i] for i in group] for group in groups if len(group)]
+
+
+def build_categorical_hierarchy(
+    values: Iterable[str], fanout: int = 3, attribute: str = ""
+) -> Hierarchy:
+    """Balanced fan-out hierarchy over a categorical domain.
+
+    Distinct values are sorted and recursively split top-down into at most
+    ``fanout`` groups per node until groups are small enough to hold the
+    leaves directly.  Internal labels take the form ``{first..last}``
+    describing the span of leaves they cover; the root is ``*``.
+    """
+    if fanout < 2:
+        raise HierarchyError("fanout must be at least 2")
+    leaves = sorted({str(v) for v in values if v is not None})
+    if not leaves:
+        raise HierarchyError(f"cannot build a hierarchy for {attribute!r}: no values")
+
+    builder = HierarchyBuilder(ROOT_LABEL, attribute=attribute)
+
+    def attach(group: list[str], parent: str) -> None:
+        if len(group) <= fanout:
+            for leaf in group:
+                builder.add(leaf, parent)
+            return
+        for subgroup in _split_groups(group, fanout):
+            if len(subgroup) == 1:
+                builder.add(subgroup[0], parent)
+                continue
+            label = f"{{{subgroup[0]}..{subgroup[-1]}}}"
+            builder.add(label, parent)
+            attach(subgroup, label)
+
+    attach(leaves, ROOT_LABEL)
+    return builder.build()
+
+
+def build_numeric_hierarchy(
+    values: Iterable[float], fanout: int = 4, attribute: str = ""
+) -> Hierarchy:
+    """Balanced interval hierarchy over a numeric domain.
+
+    Leaves are the distinct values (as strings); each internal node is the
+    closed interval spanning its descendants, labelled ``[low-high]``; the
+    root is ``*`` and carries the full domain interval.
+    """
+    if fanout < 2:
+        raise HierarchyError("fanout must be at least 2")
+    numbers = sorted({float(v) for v in values if v is not None})
+    if not numbers:
+        raise HierarchyError(f"cannot build a hierarchy for {attribute!r}: no values")
+
+    def leaf_label(value: float) -> str:
+        return str(int(value)) if value.is_integer() else str(value)
+
+    builder = HierarchyBuilder(ROOT_LABEL, attribute=attribute)
+    builder.set_interval(ROOT_LABEL, numbers[0], numbers[-1])
+
+    def attach(group: list[float], parent: str) -> None:
+        if len(group) <= fanout:
+            for value in group:
+                label = leaf_label(value)
+                builder.add(label, parent)
+                builder.set_interval(label, value, value)
+            return
+        for subgroup in _split_groups(group, fanout):
+            if len(subgroup) == 1:
+                label = leaf_label(subgroup[0])
+                builder.add(label, parent)
+                builder.set_interval(label, subgroup[0], subgroup[0])
+                continue
+            label = format_interval(subgroup[0], subgroup[-1])
+            if label == parent:
+                # Degenerate case: identical span as the parent; attach leaves.
+                for value in subgroup:
+                    leaf = leaf_label(value)
+                    builder.add(leaf, parent)
+                    builder.set_interval(leaf, value, value)
+                continue
+            builder.add(label, parent)
+            builder.set_interval(label, subgroup[0], subgroup[-1])
+            attach(subgroup, label)
+
+    attach(numbers, ROOT_LABEL)
+    return builder.build()
+
+
+def build_item_hierarchy(
+    items: Iterable[str], fanout: int = 4, attribute: str = ""
+) -> Hierarchy:
+    """Balanced fan-out hierarchy over a transaction item universe.
+
+    This is the construction used by Terrovitis et al. for set-valued data:
+    items are sorted and grouped into generalized items of increasing span,
+    with ``*`` (ALL items) as the root.
+    """
+    return build_categorical_hierarchy(items, fanout=fanout, attribute=attribute)
+
+
+def build_hierarchies_for_dataset(
+    dataset: Dataset,
+    fanout: int = 4,
+    numeric_fanout: int | None = None,
+    attributes: Sequence[str] | None = None,
+) -> dict[str, Hierarchy]:
+    """Automatically generate a hierarchy for each (quasi-identifier) attribute.
+
+    ``attributes`` restricts generation to the given names; by default all
+    quasi-identifier attributes (relational and transaction) are covered.
+    """
+    numeric_fanout = numeric_fanout or fanout
+    if attributes is None:
+        targets = [a for a in dataset.schema if a.quasi_identifier]
+    else:
+        targets = [dataset.schema[name] for name in attributes]
+
+    hierarchies: dict[str, Hierarchy] = {}
+    for attribute in targets:
+        name = attribute.name
+        if attribute.is_numeric:
+            hierarchies[name] = build_numeric_hierarchy(
+                (v for v in dataset.column(name) if v is not None),
+                fanout=numeric_fanout,
+                attribute=name,
+            )
+        elif attribute.is_categorical:
+            hierarchies[name] = build_categorical_hierarchy(
+                (v for v in dataset.column(name) if v is not None),
+                fanout=fanout,
+                attribute=name,
+            )
+        else:
+            hierarchies[name] = build_item_hierarchy(
+                dataset.item_universe(name), fanout=fanout, attribute=name
+            )
+    return hierarchies
+
+
+def interval_bounds(hierarchy: Hierarchy | None, label: str) -> tuple[float, float] | None:
+    """Numeric bounds of a generalized value.
+
+    Resolution order: the node's stored interval (if the label belongs to the
+    hierarchy), the parsed ``[low-high]`` label, or the label itself as a
+    single number.  Returns ``None`` for categorical labels.
+    """
+    if hierarchy is not None and label in hierarchy:
+        node = hierarchy.node(label)
+        if node.interval is not None:
+            return node.interval
+    parsed = parse_interval(label)
+    if parsed is not None:
+        return parsed
+    try:
+        value = float(label)
+    except (TypeError, ValueError):
+        return None
+    return (value, value)

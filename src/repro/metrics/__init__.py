@@ -1,0 +1,74 @@
+"""Information-loss metrics, utility indicators and privacy verification."""
+
+from repro.metrics.combined import RtUtility, rt_utility
+from repro.metrics.interpretation import (
+    SUPPRESSED,
+    covers_value,
+    generalization_size,
+    is_item_group,
+    item_group_members,
+    label_leaves,
+    label_span,
+)
+from repro.metrics.privacy_checks import (
+    KmViolation,
+    candidate_support,
+    equivalence_classes,
+    is_k_anonymous,
+    is_k_km_anonymous,
+    is_km_anonymous,
+    km_violations,
+    min_class_size,
+    privacy_report,
+)
+from repro.metrics.relational import (
+    RelationalLossContext,
+    average_class_size,
+    categorical_value_ncp,
+    discernibility_metric,
+    global_certainty_penalty,
+    ncp_per_attribute,
+    numeric_value_ncp,
+)
+from repro.metrics.transaction import (
+    average_item_frequency_error,
+    estimated_item_frequencies,
+    item_frequency_error,
+    item_generalization_cost,
+    suppression_ratio,
+    utility_loss,
+)
+
+__all__ = [
+    "RtUtility",
+    "rt_utility",
+    "SUPPRESSED",
+    "covers_value",
+    "generalization_size",
+    "is_item_group",
+    "item_group_members",
+    "label_leaves",
+    "label_span",
+    "KmViolation",
+    "candidate_support",
+    "equivalence_classes",
+    "is_k_anonymous",
+    "is_k_km_anonymous",
+    "is_km_anonymous",
+    "km_violations",
+    "min_class_size",
+    "privacy_report",
+    "RelationalLossContext",
+    "average_class_size",
+    "categorical_value_ncp",
+    "discernibility_metric",
+    "global_certainty_penalty",
+    "ncp_per_attribute",
+    "numeric_value_ncp",
+    "average_item_frequency_error",
+    "estimated_item_frequencies",
+    "item_frequency_error",
+    "item_generalization_cost",
+    "suppression_ratio",
+    "utility_loss",
+]

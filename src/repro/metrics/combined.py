@@ -1,0 +1,86 @@
+"""Combined utility indicators for RT-datasets.
+
+When both relational and transaction attributes are anonymized, SECRETA's
+comparison plots report a utility figure per side (GCP for the relational
+part, UL for the transaction part) and, for ranking configurations, a single
+combined score.  The combined score is a convex combination of the two,
+weighted by how much the data publisher cares about each side — the same
+trade-off the bounding methods (Rmerger / Tmerger / RTmerger) navigate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import DatasetError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.metrics.relational import global_certainty_penalty
+from repro.metrics.transaction import utility_loss
+
+
+@dataclass(frozen=True)
+class RtUtility:
+    """Utility figures of an anonymized RT-dataset."""
+
+    relational_gcp: float
+    transaction_ul: float
+    weight: float
+
+    @property
+    def combined(self) -> float:
+        """Weighted combination: ``weight * GCP + (1 - weight) * UL``."""
+        return self.weight * self.relational_gcp + (1 - self.weight) * self.transaction_ul
+
+    def as_dict(self) -> dict:
+        return {
+            "relational_gcp": self.relational_gcp,
+            "transaction_ul": self.transaction_ul,
+            "combined": self.combined,
+            "weight": self.weight,
+        }
+
+
+def rt_utility(
+    original: Dataset,
+    anonymized: Dataset,
+    relational_attributes: Sequence[str] | None = None,
+    transaction_attribute: str | None = None,
+    hierarchies: Mapping[str, Hierarchy] | None = None,
+    weight: float = 0.5,
+) -> RtUtility:
+    """Measure both sides of an anonymized RT-dataset's utility.
+
+    ``weight`` expresses the relative importance of the relational side
+    (0 = only the transaction side matters, 1 = only the relational side).
+    """
+    if not 0 <= weight <= 1:
+        raise DatasetError("weight must lie in [0, 1]")
+    hierarchies = hierarchies or {}
+    relational_gcp = 0.0
+    if relational_attributes is None:
+        relational_attributes = [
+            attribute.name
+            for attribute in original.schema.relational
+            if attribute.quasi_identifier
+        ]
+    if relational_attributes:
+        relational_gcp = global_certainty_penalty(
+            original, anonymized, relational_attributes, hierarchies
+        )
+    transaction_ul = 0.0
+    transaction_names = original.schema.transaction_names
+    if transaction_names:
+        attribute = transaction_attribute or transaction_names[0]
+        transaction_ul = utility_loss(
+            original,
+            anonymized,
+            attribute=attribute,
+            hierarchy=hierarchies.get(attribute),
+        )
+    return RtUtility(
+        relational_gcp=relational_gcp,
+        transaction_ul=transaction_ul,
+        weight=weight,
+    )

@@ -1,0 +1,93 @@
+"""Interpretation of generalized values.
+
+Anonymization algorithms emit generalized values in three syntactic forms:
+
+* hierarchy node labels (``{Bachelors..Doctorate}``, ``*``) — produced by the
+  hierarchy-based algorithms,
+* interval labels (``[20-40]``) — produced for numeric attributes,
+* explicit item groups (``(bread,milk)``) — produced by the constraint-based
+  algorithms COAT and PCTA, whose generalized items are utility-constraint
+  labels rather than hierarchy nodes.
+
+Information-loss metrics and query-answering both need to map a generalized
+value back to the set of original values (or the numeric range) it may stand
+for.  This module centralises that mapping.
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.builders import interval_bounds, parse_interval
+from repro.hierarchy.hierarchy import Hierarchy
+
+#: Marker used for suppressed items / values in anonymized outputs.
+SUPPRESSED = "†"  # dagger
+
+
+def is_item_group(label: str) -> bool:
+    """Whether ``label`` is an explicit item-group label like ``(a,b,c)``."""
+    label = str(label)
+    return label.startswith("(") and label.endswith(")") and len(label) > 2
+
+
+def item_group_members(label: str) -> frozenset[str]:
+    """The members of an explicit item-group label."""
+    return frozenset(part for part in str(label)[1:-1].split(",") if part)
+
+
+def label_leaves(
+    label: str,
+    hierarchy: Hierarchy | None = None,
+    universe: set[str] | None = None,
+) -> frozenset[str]:
+    """The set of original (leaf) values a generalized label may represent.
+
+    Resolution order: explicit item groups, hierarchy nodes, the full universe
+    for the generic root/suppression markers, and finally the label itself
+    (an already-specific value).
+    """
+    label = str(label)
+    if label == SUPPRESSED:
+        return frozenset()
+    if is_item_group(label):
+        return item_group_members(label)
+    if hierarchy is not None and label in hierarchy:
+        return frozenset(hierarchy.leaves(label))
+    if label == "*":
+        if universe is not None:
+            return frozenset(universe)
+        if hierarchy is not None:
+            return frozenset(hierarchy.leaves())
+        return frozenset()
+    return frozenset({label})
+
+
+def label_span(
+    label: str, hierarchy: Hierarchy | None = None
+) -> tuple[float, float] | None:
+    """Numeric bounds represented by a generalized label (``None`` if not numeric)."""
+    label = str(label)
+    if label == SUPPRESSED:
+        return None
+    bounds = interval_bounds(hierarchy, label)
+    if bounds is not None:
+        return bounds
+    return parse_interval(label)
+
+
+def covers_value(
+    label: str,
+    value: str,
+    hierarchy: Hierarchy | None = None,
+    universe: set[str] | None = None,
+) -> bool:
+    """Whether generalized ``label`` may stand for the original ``value``."""
+    return str(value) in label_leaves(label, hierarchy=hierarchy, universe=universe)
+
+
+def generalization_size(
+    label: str,
+    hierarchy: Hierarchy | None = None,
+    universe: set[str] | None = None,
+) -> int:
+    """Number of original values a generalized label stands for (>= 1)."""
+    return max(1, len(label_leaves(label, hierarchy=hierarchy, universe=universe)))

@@ -1,0 +1,221 @@
+"""Verification of privacy guarantees.
+
+These checks are what make the reproduction trustworthy: every algorithm's
+output is validated against its declared privacy model, both in the test
+suite and (optionally) by the engine after each run.
+
+* *k*-anonymity for relational attributes: every combination of
+  quasi-identifier values shared by at least ``k`` records.
+* *k*:sup:`m`-anonymity for transaction attributes: an adversary who knows up
+  to ``m`` items of an individual cannot narrow that individual down to fewer
+  than ``k`` records.  On generalized data the check is performed against the
+  *candidate* records — those whose (possibly generalized) itemsets could
+  contain the known items — which is the attacker's view and is valid for
+  both global and local recoding.
+* (*k*, *k*:sup:`m`)-anonymity for RT-datasets (Poulis et al. 2013): the
+  relational part is *k*-anonymous and, within every relational equivalence
+  class, the transaction part is *k*:sup:`m`-anonymous.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import DatasetError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.metrics.interpretation import label_leaves
+
+
+# -- relational: k-anonymity ---------------------------------------------------
+def equivalence_classes(
+    dataset: Dataset, attributes: Sequence[str] | None = None
+) -> dict[tuple, list[int]]:
+    """Equivalence classes over the given (default: QI relational) attributes."""
+    if attributes is None:
+        attributes = [
+            attribute.name
+            for attribute in dataset.schema.relational
+            if attribute.quasi_identifier
+        ]
+    return dataset.group_by(list(attributes))
+
+
+def min_class_size(dataset: Dataset, attributes: Sequence[str] | None = None) -> int:
+    """Size of the smallest equivalence class (0 for an empty dataset)."""
+    groups = equivalence_classes(dataset, attributes)
+    return min((len(indices) for indices in groups.values()), default=0)
+
+
+def is_k_anonymous(
+    dataset: Dataset, k: int, attributes: Sequence[str] | None = None
+) -> bool:
+    """Whether every equivalence class has at least ``k`` records."""
+    if k < 1:
+        raise DatasetError("k must be at least 1")
+    if len(dataset) == 0:
+        return True
+    return min_class_size(dataset, attributes) >= k
+
+
+# -- transactions: k^m-anonymity ------------------------------------------------
+def candidate_support(
+    dataset: Dataset,
+    items: Iterable[str],
+    attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+    universe: set[str] | None = None,
+) -> int:
+    """Number of records whose itemsets could contain all of ``items``."""
+    attribute = attribute or dataset.single_transaction_attribute()
+    items = [str(item) for item in items]
+    support = 0
+    for record in dataset:
+        covered: set[str] = set()
+        for label in record[attribute]:
+            covered.update(label_leaves(str(label), hierarchy, universe=universe))
+        if all(item in covered for item in items):
+            support += 1
+    return support
+
+
+@dataclass(frozen=True)
+class KmViolation:
+    """A combination of at most ``m`` items supported by fewer than ``k`` records."""
+
+    items: tuple[str, ...]
+    support: int
+
+
+def km_violations(
+    dataset: Dataset,
+    k: int,
+    m: int,
+    attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+    universe: Iterable[str] | None = None,
+    max_violations: int | None = None,
+) -> list[KmViolation]:
+    """All item combinations of size <= ``m`` violating k^m-anonymity.
+
+    ``universe`` defaults to the set of original items the anonymized labels
+    may stand for; pass the original dataset's universe to check against the
+    attacker's full vocabulary.
+    """
+    if k < 1 or m < 1:
+        raise DatasetError("k and m must be at least 1")
+    attribute = attribute or dataset.single_transaction_attribute()
+
+    if universe is None:
+        derived: set[str] = set()
+        for record in dataset:
+            for label in record[attribute]:
+                derived.update(label_leaves(str(label), hierarchy))
+        universe = derived
+    universe_set = {str(item) for item in universe}
+    ordered = sorted(universe_set)
+
+    # Pre-compute each record's covered original items once.
+    covered_sets = []
+    for record in dataset:
+        covered: set[str] = set()
+        for label in record[attribute]:
+            covered.update(label_leaves(str(label), hierarchy, universe=universe_set))
+        covered_sets.append(covered & universe_set)
+
+    violations: list[KmViolation] = []
+    for size in range(1, m + 1):
+        for combination in itertools.combinations(ordered, size):
+            support = sum(
+                1 for covered in covered_sets if covered.issuperset(combination)
+            )
+            if 0 < support < k:
+                violations.append(KmViolation(items=combination, support=support))
+                if max_violations is not None and len(violations) >= max_violations:
+                    return violations
+    return violations
+
+
+def is_km_anonymous(
+    dataset: Dataset,
+    k: int,
+    m: int,
+    attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+    universe: Iterable[str] | None = None,
+) -> bool:
+    """Whether the transaction attribute satisfies k^m-anonymity."""
+    return not km_violations(
+        dataset,
+        k,
+        m,
+        attribute=attribute,
+        hierarchy=hierarchy,
+        universe=universe,
+        max_violations=1,
+    )
+
+
+# -- RT-datasets: (k, k^m)-anonymity ----------------------------------------------
+def is_k_km_anonymous(
+    dataset: Dataset,
+    k: int,
+    m: int,
+    relational_attributes: Sequence[str] | None = None,
+    transaction_attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+    universe: Iterable[str] | None = None,
+) -> bool:
+    """Whether an RT-dataset satisfies (k, k^m)-anonymity (Poulis et al. 2013).
+
+    The relational projection must be k-anonymous and the transaction
+    projection of *every relational equivalence class* must be k^m-anonymous,
+    so that an adversary combining demographics with up to ``m`` items still
+    faces at least ``k`` indistinguishable records.
+    """
+    transaction_attribute = (
+        transaction_attribute or dataset.single_transaction_attribute()
+    )
+    if not is_k_anonymous(dataset, k, relational_attributes):
+        return False
+    groups = equivalence_classes(dataset, relational_attributes)
+    for indices in groups.values():
+        subset = dataset.subset(indices)
+        if not is_km_anonymous(
+            subset,
+            k,
+            m,
+            attribute=transaction_attribute,
+            hierarchy=hierarchy,
+            universe=universe,
+        ):
+            return False
+    return True
+
+
+def privacy_report(
+    dataset: Dataset,
+    k: int,
+    m: int | None = None,
+    relational_attributes: Sequence[str] | None = None,
+    transaction_attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+) -> dict:
+    """A compact report of the privacy status of an anonymized dataset."""
+    report: dict = {"records": len(dataset), "k": k}
+    has_relational = bool(
+        relational_attributes
+        if relational_attributes is not None
+        else [a for a in dataset.schema.relational if a.quasi_identifier]
+    )
+    if has_relational:
+        report["min_class_size"] = min_class_size(dataset, relational_attributes)
+        report["k_anonymous"] = report["min_class_size"] >= k
+    if m is not None and dataset.schema.transaction_names:
+        report["m"] = m
+        report["km_anonymous"] = is_km_anonymous(
+            dataset, k, m, attribute=transaction_attribute, hierarchy=hierarchy
+        )
+    return report

@@ -1,0 +1,171 @@
+"""Information-loss metrics for relational (single-valued) attributes.
+
+The measures follow the definitions used by the algorithms SECRETA
+integrates:
+
+* **NCP / GCP** (Normalized / Global Certainty Penalty, Xu et al. 2006) —
+  how much of an attribute's domain a generalized value spans, averaged over
+  cells and records.  0 means no generalization, 1 means every value was
+  generalized to the root.
+* **Discernibility Metric** (Bayardo & Agrawal) — the sum of squared
+  equivalence-class sizes; penalises large, indistinct groups.
+* **Average equivalence class size** ``C_avg`` (LeFevre et al.) — how much
+  larger the average class is than the minimum required size ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import DatasetError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.metrics.interpretation import SUPPRESSED, label_leaves, label_span
+
+
+def categorical_value_ncp(
+    label: str, hierarchy: Hierarchy | None, domain_size: int
+) -> float:
+    """NCP of one categorical cell: ``(|leaves(label)| - 1) / (|domain| - 1)``."""
+    if domain_size <= 1:
+        return 0.0
+    if str(label) == SUPPRESSED:
+        return 1.0
+    leaves = label_leaves(str(label), hierarchy)
+    return max(0, len(leaves) - 1) / (domain_size - 1)
+
+
+def numeric_value_ncp(
+    label, hierarchy: Hierarchy | None, domain_low: float, domain_high: float
+) -> float:
+    """NCP of one numeric cell: the width of its range over the domain width."""
+    if domain_high <= domain_low:
+        return 0.0
+    if str(label) == SUPPRESSED:
+        return 1.0
+    if isinstance(label, (int, float)):
+        return 0.0
+    span = label_span(str(label), hierarchy)
+    if span is None:
+        # A label we cannot interpret numerically; treat as fully generalized.
+        return 1.0
+    low, high = span
+    return max(0.0, min(1.0, (high - low) / (domain_high - domain_low)))
+
+
+class RelationalLossContext:
+    """Pre-computed domain information needed to score anonymized datasets.
+
+    The context is built from the *original* dataset so that domain sizes and
+    ranges reflect the true data, then reused to score any number of
+    anonymized versions (exactly how SECRETA's varying-parameter execution
+    scores a whole sweep).
+    """
+
+    def __init__(
+        self,
+        original: Dataset,
+        attributes: Sequence[str] | None = None,
+        hierarchies: Mapping[str, Hierarchy] | None = None,
+    ):
+        self.hierarchies = dict(hierarchies or {})
+        if attributes is None:
+            attributes = [
+                attribute.name
+                for attribute in original.schema.relational
+                if attribute.quasi_identifier
+            ]
+        self.attributes = list(attributes)
+        self.numeric_attributes: set[str] = set()
+        self.domain_sizes: dict[str, int] = {}
+        self.domain_ranges: dict[str, tuple[float, float]] = {}
+        for name in self.attributes:
+            attribute = original.schema[name]
+            domain = original.domain(name)
+            if not domain:
+                raise DatasetError(f"attribute {name!r} has an empty domain")
+            if attribute.is_numeric:
+                self.numeric_attributes.add(name)
+                self.domain_ranges[name] = (float(min(domain)), float(max(domain)))
+            self.domain_sizes[name] = len(domain)
+
+    def cell_ncp(self, attribute: str, label) -> float:
+        """NCP of a single anonymized cell."""
+        hierarchy = self.hierarchies.get(attribute)
+        if attribute in self.numeric_attributes:
+            low, high = self.domain_ranges[attribute]
+            return numeric_value_ncp(label, hierarchy, low, high)
+        return categorical_value_ncp(label, hierarchy, self.domain_sizes[attribute])
+
+    def record_ncp(self, record) -> float:
+        """Average NCP of one anonymized record over the scored attributes."""
+        if not self.attributes:
+            return 0.0
+        return sum(
+            self.cell_ncp(attribute, record[attribute]) for attribute in self.attributes
+        ) / len(self.attributes)
+
+
+def global_certainty_penalty(
+    original: Dataset,
+    anonymized: Dataset,
+    attributes: Sequence[str] | None = None,
+    hierarchies: Mapping[str, Hierarchy] | None = None,
+) -> float:
+    """GCP: the average record NCP of the anonymized dataset (0 = intact)."""
+    if len(anonymized) == 0:
+        return 0.0
+    context = RelationalLossContext(original, attributes, hierarchies)
+    total = sum(context.record_ncp(record) for record in anonymized)
+    return total / len(anonymized)
+
+
+def ncp_per_attribute(
+    original: Dataset,
+    anonymized: Dataset,
+    attributes: Sequence[str] | None = None,
+    hierarchies: Mapping[str, Hierarchy] | None = None,
+) -> dict[str, float]:
+    """Average NCP of each scored attribute (diagnostic view used in plots)."""
+    context = RelationalLossContext(original, attributes, hierarchies)
+    if len(anonymized) == 0:
+        return {attribute: 0.0 for attribute in context.attributes}
+    result = {}
+    for attribute in context.attributes:
+        total = sum(
+            context.cell_ncp(attribute, record[attribute]) for record in anonymized
+        )
+        result[attribute] = total / len(anonymized)
+    return result
+
+
+def discernibility_metric(
+    anonymized: Dataset, attributes: Sequence[str] | None = None
+) -> int:
+    """Discernibility: sum of squared equivalence-class sizes."""
+    if attributes is None:
+        attributes = [
+            attribute.name
+            for attribute in anonymized.schema.relational
+            if attribute.quasi_identifier
+        ]
+    groups = anonymized.group_by(list(attributes))
+    return sum(len(indices) ** 2 for indices in groups.values())
+
+
+def average_class_size(
+    anonymized: Dataset, k: int, attributes: Sequence[str] | None = None
+) -> float:
+    """``C_avg``: (records / classes) / k.  1.0 is the ideal value."""
+    if k < 1:
+        raise DatasetError("k must be at least 1")
+    if attributes is None:
+        attributes = [
+            attribute.name
+            for attribute in anonymized.schema.relational
+            if attribute.quasi_identifier
+        ]
+    groups = anonymized.group_by(list(attributes))
+    if not groups:
+        return 0.0
+    return (len(anonymized) / len(groups)) / k

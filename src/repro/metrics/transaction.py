@@ -1,0 +1,175 @@
+"""Information-loss metrics for transaction (set-valued) attributes.
+
+The measures mirror the evaluation of the transaction-anonymization papers
+SECRETA integrates:
+
+* **Utility Loss (UL)** — every generalized item is charged by the fraction of
+  the item universe it may stand for, and every suppressed item by 1; the
+  charges are summed over all records and normalised by the total number of
+  items in the original data.  0 means intact, 1 means everything was
+  suppressed or generalized to the root.
+* **Suppression ratio** — fraction of original item occurrences that no longer
+  appear (not even under a generalized item) in the anonymized data.
+* **Item frequency error** — the average relative error of per-item supports
+  estimated from the anonymized data (the series plotted in the Evaluation
+  screen, Figure 3(d)).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.statistics import value_frequencies
+from repro.exceptions import DatasetError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.metrics.interpretation import label_leaves
+
+
+def item_generalization_cost(
+    label: str, universe_size: int, hierarchy: Hierarchy | None = None
+) -> float:
+    """Cost of publishing ``label`` instead of an original item.
+
+    An original item costs 0, a generalized item ``(a,b,c)`` costs
+    ``(3 - 1) / (|I| - 1)``, and the root (all items) costs 1.
+    """
+    if universe_size <= 1:
+        return 0.0
+    size = len(label_leaves(str(label), hierarchy))
+    return max(0, size - 1) / (universe_size - 1)
+
+
+def _covered_items(
+    itemset: frozenset, hierarchy: Hierarchy | None, universe: set[str]
+) -> set[str]:
+    """Original items that remain (possibly generalized) in an anonymized itemset."""
+    covered: set[str] = set()
+    for label in itemset:
+        covered.update(label_leaves(str(label), hierarchy, universe=universe))
+    return covered & universe
+
+
+def utility_loss(
+    original: Dataset,
+    anonymized: Dataset,
+    attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+) -> float:
+    """UL of an anonymized transaction attribute (0 intact .. 1 destroyed)."""
+    attribute = attribute or original.single_transaction_attribute()
+    if len(original) != len(anonymized):
+        raise DatasetError(
+            "utility_loss expects aligned datasets "
+            f"({len(original)} vs {len(anonymized)} records)"
+        )
+    universe = original.item_universe(attribute)
+    universe_size = len(universe)
+    total_items = sum(len(record[attribute]) for record in original)
+    if total_items == 0:
+        return 0.0
+
+    loss = 0.0
+    for original_record, anonymized_record in zip(original, anonymized):
+        source_items = original_record[attribute]
+        if not source_items:
+            continue
+        target_labels = anonymized_record[attribute]
+        covered = _covered_items(target_labels, hierarchy, universe)
+        # Charge each original item: 1 if it disappeared, otherwise the cost
+        # of the most specific label that still covers it.
+        for item in source_items:
+            if item not in covered:
+                loss += 1.0
+                continue
+            best = 1.0
+            for label in target_labels:
+                leaves = label_leaves(str(label), hierarchy, universe=universe)
+                if item in leaves:
+                    best = min(
+                        best,
+                        item_generalization_cost(label, universe_size, hierarchy),
+                    )
+            loss += best
+    return loss / total_items
+
+
+def suppression_ratio(
+    original: Dataset,
+    anonymized: Dataset,
+    attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+) -> float:
+    """Fraction of original item occurrences that vanished from the output."""
+    attribute = attribute or original.single_transaction_attribute()
+    if len(original) != len(anonymized):
+        raise DatasetError("suppression_ratio expects aligned datasets")
+    universe = original.item_universe(attribute)
+    total = 0
+    suppressed = 0
+    for original_record, anonymized_record in zip(original, anonymized):
+        covered = _covered_items(anonymized_record[attribute], hierarchy, universe)
+        for item in original_record[attribute]:
+            total += 1
+            if item not in covered:
+                suppressed += 1
+    return suppressed / total if total else 0.0
+
+
+def estimated_item_frequencies(
+    anonymized: Dataset,
+    universe: set[str],
+    attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+) -> dict[str, float]:
+    """Expected support of each original item, estimated from anonymized data.
+
+    A record containing the generalized item ``g`` contributes ``1/|leaves(g)|``
+    to every original item ``g`` may stand for (uniformity assumption).
+    """
+    attribute = attribute or anonymized.single_transaction_attribute()
+    estimates = {item: 0.0 for item in universe}
+    for record in anonymized:
+        for label in record[attribute]:
+            leaves = label_leaves(str(label), hierarchy, universe=universe) & set(universe)
+            if not leaves:
+                continue
+            weight = 1.0 / len(leaves)
+            for item in leaves:
+                estimates[item] += weight
+    return estimates
+
+
+def item_frequency_error(
+    original: Dataset,
+    anonymized: Dataset,
+    attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+    floor: float = 1.0,
+) -> dict[str, float]:
+    """Per-item relative error between original and estimated supports."""
+    attribute = attribute or original.single_transaction_attribute()
+    universe = original.item_universe(attribute)
+    actual = value_frequencies(original, attribute)
+    estimated = estimated_item_frequencies(
+        anonymized, universe, attribute=attribute, hierarchy=hierarchy
+    )
+    return {
+        item: abs(estimated.get(item, 0.0) - actual.get(item, 0))
+        / max(actual.get(item, 0), floor)
+        for item in sorted(universe)
+    }
+
+
+def average_item_frequency_error(
+    original: Dataset,
+    anonymized: Dataset,
+    attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+    floor: float = 1.0,
+) -> float:
+    """Mean of :func:`item_frequency_error` over the item universe."""
+    errors = item_frequency_error(
+        original, anonymized, attribute=attribute, hierarchy=hierarchy, floor=floor
+    )
+    return sum(errors.values()) / len(errors) if errors else 0.0

@@ -1,0 +1,40 @@
+"""Privacy and utility policies for constraint-based anonymization."""
+
+from repro.policies.generation import (
+    generate_policies,
+    generate_privacy_policy,
+    generate_utility_policy,
+    policy_summary,
+)
+from repro.policies.io import (
+    load_privacy_policy,
+    load_utility_policy,
+    read_privacy_policy_text,
+    read_utility_policy_text,
+    save_privacy_policy,
+    save_utility_policy,
+    write_privacy_policy_text,
+    write_utility_policy_text,
+)
+from repro.policies.privacy import PrivacyConstraint, PrivacyPolicy
+from repro.policies.utility import UtilityConstraint, UtilityPolicy, generalized_label
+
+__all__ = [
+    "PrivacyConstraint",
+    "PrivacyPolicy",
+    "UtilityConstraint",
+    "UtilityPolicy",
+    "generalized_label",
+    "generate_policies",
+    "generate_privacy_policy",
+    "generate_utility_policy",
+    "policy_summary",
+    "load_privacy_policy",
+    "load_utility_policy",
+    "read_privacy_policy_text",
+    "read_utility_policy_text",
+    "save_privacy_policy",
+    "save_utility_policy",
+    "write_privacy_policy_text",
+    "write_utility_policy_text",
+]

@@ -1,0 +1,173 @@
+"""Automatic generation of privacy and utility policies.
+
+SECRETA's Policy Specification Module can generate policies automatically
+"using the algorithms in [COAT]" when the data publisher does not provide
+them.  The strategies implemented here follow that paper's experimental
+setup:
+
+Privacy policies
+    * ``"items"`` — one constraint per item: every single item must be shared
+      by at least ``k`` records (the most conservative, k^1-style policy).
+    * ``"rare"`` — one constraint per item whose support is below a
+      percentile threshold (rare items are the ones that identify people).
+    * ``"itemsets"`` — random itemsets of a chosen size drawn from the data,
+      modelling adversaries who know combinations of items.
+
+Utility policies
+    * ``"frequency"`` — sort items by support and group consecutive runs of
+      ``group_size`` items: similar-popularity items are interchangeable.
+    * ``"hierarchy"`` — one constraint per subtree rooted at the given level
+      of an item hierarchy: semantically related items are interchangeable.
+    * ``"singletons"`` — no generalization allowed (suppression only).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.statistics import value_frequencies
+from repro.exceptions import PolicyError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.policies.privacy import PrivacyConstraint, PrivacyPolicy
+from repro.policies.utility import UtilityConstraint, UtilityPolicy
+
+
+def generate_privacy_policy(
+    dataset: Dataset,
+    k: int,
+    strategy: str = "items",
+    attribute: str | None = None,
+    rare_percentile: float = 25.0,
+    constraint_size: int = 2,
+    n_constraints: int | None = None,
+    seed: int = 0,
+) -> PrivacyPolicy:
+    """Generate a privacy policy from the data (see module docstring)."""
+    attribute = attribute or dataset.single_transaction_attribute()
+    supports = value_frequencies(dataset, attribute)
+    items = sorted(supports)
+    if not items:
+        raise PolicyError("cannot generate a privacy policy: no items in the data")
+
+    if strategy == "items":
+        constraints = [PrivacyConstraint([item]) for item in items]
+    elif strategy == "rare":
+        threshold = float(np.percentile(list(supports.values()), rare_percentile))
+        rare = [item for item in items if supports[item] <= threshold]
+        constraints = [PrivacyConstraint([item]) for item in rare]
+        if not constraints:
+            constraints = [PrivacyConstraint([min(items, key=lambda i: supports[i])])]
+    elif strategy == "itemsets":
+        if constraint_size < 1:
+            raise PolicyError("constraint_size must be at least 1")
+        rng = np.random.default_rng(seed)
+        count = n_constraints or max(1, len(items) // 2)
+        constraints = []
+        seen: set[frozenset[str]] = set()
+        # Draw itemsets from actual records so constraints have support > 0.
+        record_sets = [
+            sorted(record[attribute]) for record in dataset if record[attribute]
+        ]
+        attempts = 0
+        while len(constraints) < count and attempts < 20 * count:
+            attempts += 1
+            basket = record_sets[int(rng.integers(len(record_sets)))]
+            size = min(constraint_size, len(basket))
+            picked = frozenset(
+                rng.choice(basket, size=size, replace=False).tolist()
+            )
+            if picked and picked not in seen:
+                seen.add(picked)
+                constraints.append(PrivacyConstraint(picked))
+    else:
+        raise PolicyError(
+            f"unknown privacy policy strategy {strategy!r}; "
+            "expected 'items', 'rare' or 'itemsets'"
+        )
+    return PrivacyPolicy(constraints, k=k)
+
+
+def generate_utility_policy(
+    dataset: Dataset,
+    strategy: str = "frequency",
+    attribute: str | None = None,
+    group_size: int = 4,
+    hierarchy: Hierarchy | None = None,
+    hierarchy_depth: int = 1,
+) -> UtilityPolicy:
+    """Generate a utility policy from the data (see module docstring)."""
+    attribute = attribute or dataset.single_transaction_attribute()
+    supports = value_frequencies(dataset, attribute)
+    items = sorted(supports)
+    if not items:
+        raise PolicyError("cannot generate a utility policy: no items in the data")
+
+    if strategy == "singletons":
+        return UtilityPolicy([UtilityConstraint([item]) for item in items])
+    if strategy == "frequency":
+        if group_size < 1:
+            raise PolicyError("group_size must be at least 1")
+        by_support = sorted(items, key=lambda item: (-supports[item], item))
+        groups = [
+            by_support[i : i + group_size]
+            for i in range(0, len(by_support), group_size)
+        ]
+        return UtilityPolicy([UtilityConstraint(group) for group in groups])
+    if strategy == "hierarchy":
+        if hierarchy is None:
+            raise PolicyError("the 'hierarchy' strategy needs an item hierarchy")
+        depth = min(hierarchy_depth, hierarchy.height)
+        groups: list[list[str]] = []
+        covered: set[str] = set()
+        for label in hierarchy.nodes_at_depth(depth):
+            leaves = [leaf for leaf in hierarchy.leaves(label) if leaf in supports]
+            if leaves:
+                groups.append(leaves)
+                covered.update(leaves)
+        leftovers = [item for item in items if item not in covered]
+        groups.extend([[item] for item in leftovers])
+        return UtilityPolicy([UtilityConstraint(group) for group in groups])
+    raise PolicyError(
+        f"unknown utility policy strategy {strategy!r}; "
+        "expected 'frequency', 'hierarchy' or 'singletons'"
+    )
+
+
+def generate_policies(
+    dataset: Dataset,
+    k: int,
+    privacy_strategy: str = "items",
+    utility_strategy: str = "frequency",
+    attribute: str | None = None,
+    group_size: int = 4,
+    hierarchy: Hierarchy | None = None,
+    seed: int = 0,
+) -> tuple[PrivacyPolicy, UtilityPolicy]:
+    """Generate a matching (privacy, utility) policy pair for COAT/PCTA."""
+    privacy = generate_privacy_policy(
+        dataset, k=k, strategy=privacy_strategy, attribute=attribute, seed=seed
+    )
+    utility = generate_utility_policy(
+        dataset,
+        strategy=utility_strategy,
+        attribute=attribute,
+        group_size=group_size,
+        hierarchy=hierarchy,
+    )
+    return privacy, utility
+
+
+def policy_summary(privacy: PrivacyPolicy, utility: UtilityPolicy) -> dict:
+    """A small report of the generated policies (used by the frontend)."""
+    sizes = [len(constraint) for constraint in privacy]
+    return {
+        "k": privacy.k,
+        "privacy_constraints": len(privacy),
+        "max_constraint_size": privacy.max_constraint_size(),
+        "avg_constraint_size": float(np.mean(sizes)) if sizes else 0.0,
+        "utility_constraints": len(utility),
+        "covered_items": len(utility.covered_items),
+    }

@@ -1,0 +1,137 @@
+"""Privacy policies for constraint-based transaction anonymization.
+
+COAT and PCTA do not use generalization hierarchies; instead the data
+publisher expresses *privacy constraints*: itemsets that an attacker may know
+and that must therefore not identify fewer than ``k`` transactions.  A privacy
+policy is a collection of such constraints together with the protection level
+``k``: the anonymized dataset must support every constraint either in at
+least ``k`` transactions or not at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import PolicyError
+
+
+@dataclass(frozen=True)
+class PrivacyConstraint:
+    """An itemset that must not isolate fewer than ``k`` records.
+
+    The constraint is satisfied by an anonymized dataset when the number of
+    records whose (possibly generalized) itemsets could contain *all* items of
+    the constraint is either zero or at least the policy's ``k``.
+    """
+
+    items: frozenset[str]
+
+    def __init__(self, items: Iterable[str]):
+        object.__setattr__(self, "items", frozenset(str(item) for item in items))
+        if not self.items:
+            raise PolicyError("a privacy constraint needs at least one item")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.items))
+
+    def __repr__(self) -> str:
+        return f"PrivacyConstraint({sorted(self.items)})"
+
+
+class PrivacyPolicy:
+    """A set of privacy constraints plus the protection threshold ``k``."""
+
+    def __init__(self, constraints: Iterable[PrivacyConstraint | Iterable[str]], k: int):
+        if k < 2:
+            raise PolicyError("the protection level k must be at least 2")
+        self.k = int(k)
+        self._constraints: list[PrivacyConstraint] = []
+        seen: set[frozenset[str]] = set()
+        for constraint in constraints:
+            if not isinstance(constraint, PrivacyConstraint):
+                constraint = PrivacyConstraint(constraint)
+            if constraint.items in seen:
+                continue
+            seen.add(constraint.items)
+            self._constraints.append(constraint)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[PrivacyConstraint]:
+        return iter(self._constraints)
+
+    def __repr__(self) -> str:
+        return f"PrivacyPolicy(k={self.k}, constraints={len(self._constraints)})"
+
+    @property
+    def constraints(self) -> list[PrivacyConstraint]:
+        return list(self._constraints)
+
+    @property
+    def protected_items(self) -> set[str]:
+        """All items mentioned by at least one constraint."""
+        items: set[str] = set()
+        for constraint in self._constraints:
+            items.update(constraint.items)
+        return items
+
+    def max_constraint_size(self) -> int:
+        return max((len(c) for c in self._constraints), default=0)
+
+    # -- evaluation -----------------------------------------------------------
+    def constraint_support(
+        self,
+        dataset: Dataset,
+        constraint: PrivacyConstraint,
+        attribute: str | None = None,
+        item_mapping: dict[str, str] | None = None,
+    ) -> int:
+        """Number of records that (could) support ``constraint``.
+
+        ``item_mapping`` maps original items to their generalized
+        representation (identity when omitted); suppressed items map to
+        ``None`` and can never be supported.
+        """
+        attribute = attribute or dataset.single_transaction_attribute()
+        mapped: set[str] = set()
+        for item in constraint.items:
+            image = item_mapping.get(item, item) if item_mapping else item
+            if image is None:
+                return 0
+            mapped.add(image)
+        support = 0
+        for record in dataset:
+            if mapped <= record[attribute]:
+                support += 1
+        return support
+
+    def violations(
+        self,
+        dataset: Dataset,
+        attribute: str | None = None,
+        item_mapping: dict[str, str] | None = None,
+    ) -> list[tuple[PrivacyConstraint, int]]:
+        """Constraints whose support is positive but below ``k``."""
+        result = []
+        for constraint in self._constraints:
+            support = self.constraint_support(
+                dataset, constraint, attribute=attribute, item_mapping=item_mapping
+            )
+            if 0 < support < self.k:
+                result.append((constraint, support))
+        return result
+
+    def is_satisfied_by(
+        self,
+        dataset: Dataset,
+        attribute: str | None = None,
+        item_mapping: dict[str, str] | None = None,
+    ) -> bool:
+        """Whether the anonymized ``dataset`` satisfies every constraint."""
+        return not self.violations(dataset, attribute=attribute, item_mapping=item_mapping)

@@ -1,0 +1,129 @@
+"""Utility policies for constraint-based transaction anonymization.
+
+A *utility constraint* (Loukides et al., KAIS 2011) is a set of items that the
+data publisher considers semantically interchangeable: replacing any of them
+by the generalized item that represents the whole set preserves the intended
+analyses.  A utility policy partitions (part of) the item universe into such
+sets; COAT and PCTA may only generalize an item within its utility
+constraint — anything beyond that must be suppression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import PolicyError
+
+
+def generalized_label(items: Iterable[str]) -> str:
+    """Canonical label of the generalized item representing ``items``."""
+    members = sorted(str(item) for item in items)
+    if len(members) == 1:
+        return members[0]
+    return "(" + ",".join(members) + ")"
+
+
+@dataclass(frozen=True)
+class UtilityConstraint:
+    """A set of items that may be generalized to a single generalized item."""
+
+    items: frozenset[str]
+
+    def __init__(self, items: Iterable[str]):
+        object.__setattr__(self, "items", frozenset(str(item) for item in items))
+        if not self.items:
+            raise PolicyError("a utility constraint needs at least one item")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.items))
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.items
+
+    def __repr__(self) -> str:
+        return f"UtilityConstraint({sorted(self.items)})"
+
+    @property
+    def label(self) -> str:
+        """Label of the most general item this constraint allows."""
+        return generalized_label(self.items)
+
+
+class UtilityPolicy:
+    """A collection of disjoint utility constraints over the item universe.
+
+    Items not covered by any constraint form implicit singleton constraints:
+    they may never be generalized, only kept intact or suppressed.
+    """
+
+    def __init__(self, constraints: Iterable[UtilityConstraint | Iterable[str]]):
+        self._constraints: list[UtilityConstraint] = []
+        self._constraint_of: dict[str, int] = {}
+        for constraint in constraints:
+            if not isinstance(constraint, UtilityConstraint):
+                constraint = UtilityConstraint(constraint)
+            for item in constraint.items:
+                if item in self._constraint_of:
+                    raise PolicyError(
+                        f"item {item!r} appears in more than one utility constraint"
+                    )
+            position = len(self._constraints)
+            self._constraints.append(constraint)
+            for item in constraint.items:
+                self._constraint_of[item] = position
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[UtilityConstraint]:
+        return iter(self._constraints)
+
+    def __repr__(self) -> str:
+        return f"UtilityPolicy(constraints={len(self._constraints)})"
+
+    @property
+    def constraints(self) -> list[UtilityConstraint]:
+        return list(self._constraints)
+
+    @property
+    def covered_items(self) -> set[str]:
+        return set(self._constraint_of)
+
+    def constraint_for(self, item: str) -> UtilityConstraint | None:
+        """The constraint containing ``item`` (``None`` if uncovered)."""
+        position = self._constraint_of.get(str(item))
+        return self._constraints[position] if position is not None else None
+
+    def allowed_generalizations(self, item: str) -> list[frozenset[str]]:
+        """Item groups ``item`` may be generalized to, most specific first.
+
+        With a flat policy this is the singleton ``{item}`` followed by the
+        full constraint set (when the item is covered by one).
+        """
+        item = str(item)
+        options = [frozenset({item})]
+        constraint = self.constraint_for(item)
+        if constraint is not None and len(constraint) > 1:
+            options.append(constraint.items)
+        return options
+
+    def label_for(self, items: Iterable[str]) -> str:
+        """Canonical generalized-item label for an item group."""
+        return generalized_label(items)
+
+    def permits(self, items: Iterable[str]) -> bool:
+        """Whether generalizing ``items`` to a single item respects the policy.
+
+        Allowed groups are singletons or (subsets of) one utility constraint.
+        """
+        group = frozenset(str(item) for item in items)
+        if len(group) <= 1:
+            return True
+        constraints = {self._constraint_of.get(item) for item in group}
+        if None in constraints or len(constraints) != 1:
+            return False
+        return True

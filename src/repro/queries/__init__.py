@@ -1,0 +1,32 @@
+"""Query workloads and the Average Relative Error utility indicator."""
+
+from repro.queries.are import (
+    AreResult,
+    QueryEvaluation,
+    average_relative_error,
+    evaluate_query,
+    relative_error,
+)
+from repro.queries.query import (
+    Condition,
+    Query,
+    RangeCondition,
+    ValueCondition,
+    condition_from_dict,
+)
+from repro.queries.workload import QueryWorkload, generate_query_workload
+
+__all__ = [
+    "AreResult",
+    "QueryEvaluation",
+    "average_relative_error",
+    "evaluate_query",
+    "relative_error",
+    "Condition",
+    "Query",
+    "RangeCondition",
+    "ValueCondition",
+    "condition_from_dict",
+    "QueryWorkload",
+    "generate_query_workload",
+]

@@ -1,0 +1,98 @@
+"""Average Relative Error (ARE).
+
+ARE (Xu et al., KDD 2006) is SECRETA's "de facto utility indicator": it
+measures how accurately a query workload can be answered on the anonymized
+data.  For each query the exact count on the original dataset is compared to
+the estimate obtained from the anonymized dataset, and the relative errors are
+averaged::
+
+    ARE = (1/|W|) * sum_q |estimate_q - actual_q| / max(actual_q, floor)
+
+The ``floor`` (called a *sanity bound* in the literature) avoids dividing by
+zero for queries with no matching records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import QueryError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.queries.query import Query
+from repro.queries.workload import QueryWorkload
+
+
+@dataclass(frozen=True)
+class QueryEvaluation:
+    """Per-query evaluation record (actual count, estimate, relative error)."""
+
+    query: Query
+    actual: float
+    estimate: float
+    relative_error: float
+
+
+@dataclass(frozen=True)
+class AreResult:
+    """The outcome of evaluating a workload on original vs. anonymized data."""
+
+    are: float
+    per_query: tuple[QueryEvaluation, ...]
+
+    @property
+    def worst_query(self) -> QueryEvaluation | None:
+        if not self.per_query:
+            return None
+        return max(self.per_query, key=lambda entry: entry.relative_error)
+
+    def summary(self) -> dict:
+        return {
+            "are": self.are,
+            "queries": len(self.per_query),
+            "max_relative_error": max(
+                (entry.relative_error for entry in self.per_query), default=0.0
+            ),
+        }
+
+
+def relative_error(actual: float, estimate: float, floor: float = 1.0) -> float:
+    """Relative error of one estimate with a sanity floor on the denominator."""
+    if floor <= 0:
+        raise QueryError("the sanity floor must be positive")
+    return abs(estimate - actual) / max(actual, floor)
+
+
+def evaluate_query(
+    query: Query,
+    original: Dataset,
+    anonymized: Dataset,
+    hierarchies: Mapping[str, Hierarchy] | None = None,
+    floor: float = 1.0,
+) -> QueryEvaluation:
+    """Evaluate one query on the original and the anonymized dataset."""
+    actual = float(query.count(original))
+    estimate = float(query.estimate(anonymized, hierarchies=hierarchies))
+    return QueryEvaluation(
+        query=query,
+        actual=actual,
+        estimate=estimate,
+        relative_error=relative_error(actual, estimate, floor=floor),
+    )
+
+
+def average_relative_error(
+    workload: QueryWorkload,
+    original: Dataset,
+    anonymized: Dataset,
+    hierarchies: Mapping[str, Hierarchy] | None = None,
+    floor: float = 1.0,
+) -> AreResult:
+    """Evaluate a whole workload and return the ARE with per-query detail."""
+    per_query = tuple(
+        evaluate_query(query, original, anonymized, hierarchies=hierarchies, floor=floor)
+        for query in workload
+    )
+    are = sum(entry.relative_error for entry in per_query) / len(per_query)
+    return AreResult(are=are, per_query=per_query)

@@ -1,0 +1,243 @@
+"""COUNT queries over RT-datasets.
+
+SECRETA evaluates data utility "in query answering" with the query type of
+Xu et al. (KDD 2006): COUNT queries that combine range or equality predicates
+on relational attributes with containment predicates on the transaction
+attribute, e.g. *"how many customers aged 25–35 with a Bachelors degree bought
+bread and milk?"*.
+
+A query can be answered exactly on the original dataset
+(:meth:`Query.count`) and only estimated on an anonymized dataset
+(:meth:`Query.estimate`): a generalized value may or may not stand for a
+matching original value, so each record contributes the probability that it
+matches, under the standard uniformity assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.datasets.dataset import Dataset, Record
+from repro.exceptions import QueryError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.metrics.interpretation import label_leaves, label_span
+
+
+@dataclass(frozen=True)
+class RangeCondition:
+    """A numeric predicate ``low <= value <= high``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise QueryError(f"empty range [{self.low}, {self.high}]")
+
+    def match_probability(
+        self, value: Any, hierarchy: Hierarchy | None = None
+    ) -> float:
+        """Probability that a (possibly generalized) value satisfies the range."""
+        if value is None:
+            return 0.0
+        if isinstance(value, (int, float)):
+            return 1.0 if self.low <= value <= self.high else 0.0
+        span = label_span(str(value), hierarchy)
+        if span is None:
+            return 0.0
+        low, high = span
+        if high < self.low or low > self.high:
+            return 0.0
+        if high == low:
+            return 1.0
+        overlap = min(high, self.high) - max(low, self.low)
+        return max(0.0, min(1.0, overlap / (high - low)))
+
+    def to_dict(self) -> dict:
+        return {"type": "range", "low": self.low, "high": self.high}
+
+
+@dataclass(frozen=True)
+class ValueCondition:
+    """A categorical predicate ``value IN accepted``."""
+
+    accepted: frozenset[str]
+
+    def __init__(self, accepted: Iterable[str]):
+        object.__setattr__(
+            self, "accepted", frozenset(str(value) for value in accepted)
+        )
+        if not self.accepted:
+            raise QueryError("a value condition needs at least one accepted value")
+
+    def match_probability(
+        self, value: Any, hierarchy: Hierarchy | None = None
+    ) -> float:
+        """Probability that a (possibly generalized) value is an accepted one."""
+        if value is None:
+            return 0.0
+        value = str(value)
+        if value in self.accepted:
+            return 1.0
+        leaves = label_leaves(value, hierarchy)
+        if not leaves:
+            return 0.0
+        matching = len(leaves & self.accepted)
+        if matching == 0:
+            return 0.0
+        return matching / len(leaves)
+
+    def to_dict(self) -> dict:
+        return {"type": "values", "accepted": sorted(self.accepted)}
+
+
+Condition = RangeCondition | ValueCondition
+
+
+def condition_from_dict(data: Mapping) -> Condition:
+    """Inverse of ``Condition.to_dict`` (used by the workload file format)."""
+    kind = data.get("type")
+    if kind == "range":
+        return RangeCondition(float(data["low"]), float(data["high"]))
+    if kind == "values":
+        return ValueCondition(data["accepted"])
+    raise QueryError(f"unknown condition type {kind!r}")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A COUNT query over relational predicates and required items."""
+
+    conditions: Mapping[str, Condition] = field(default_factory=dict)
+    items: frozenset[str] = field(default_factory=frozenset)
+    transaction_attribute: str | None = None
+
+    def __init__(
+        self,
+        conditions: Mapping[str, Condition] | None = None,
+        items: Iterable[str] = (),
+        transaction_attribute: str | None = None,
+    ):
+        object.__setattr__(self, "conditions", dict(conditions or {}))
+        object.__setattr__(self, "items", frozenset(str(item) for item in items))
+        object.__setattr__(self, "transaction_attribute", transaction_attribute)
+        if not self.conditions and not self.items:
+            raise QueryError("a query needs at least one predicate")
+
+    # -- exact evaluation -------------------------------------------------------
+    def _matches_exactly(self, record: Record, transaction_attribute: str | None) -> bool:
+        for attribute, condition in self.conditions.items():
+            if condition.match_probability(record[attribute]) < 1.0:
+                return False
+        if self.items:
+            if transaction_attribute is None:
+                raise QueryError(
+                    "query has item predicates but the dataset has no "
+                    "transaction attribute"
+                )
+            if not self.items <= record[transaction_attribute]:
+                return False
+        return True
+
+    def count(self, dataset: Dataset) -> int:
+        """Exact number of matching records (for original, truthful data)."""
+        transaction_attribute = self._transaction_attribute(dataset)
+        return sum(
+            1
+            for record in dataset
+            if self._matches_exactly(record, transaction_attribute)
+        )
+
+    # -- probabilistic evaluation -------------------------------------------------
+    def estimate(
+        self,
+        dataset: Dataset,
+        hierarchies: Mapping[str, Hierarchy] | None = None,
+    ) -> float:
+        """Expected number of matching records in an anonymized dataset.
+
+        Every record contributes the product of the per-predicate match
+        probabilities (independence + uniformity assumptions, as in the
+        query-answering evaluations of the anonymization literature).
+        """
+        hierarchies = hierarchies or {}
+        transaction_attribute = self._transaction_attribute(dataset)
+        item_hierarchy = (
+            hierarchies.get(transaction_attribute) if transaction_attribute else None
+        )
+        total = 0.0
+        for record in dataset:
+            probability = 1.0
+            for attribute, condition in self.conditions.items():
+                probability *= condition.match_probability(
+                    record[attribute], hierarchies.get(attribute)
+                )
+                if probability == 0.0:
+                    break
+            if probability and self.items:
+                probability *= self._itemset_probability(
+                    record[transaction_attribute], item_hierarchy
+                )
+            total += probability
+        return total
+
+    def _itemset_probability(
+        self, itemset: frozenset, hierarchy: Hierarchy | None
+    ) -> float:
+        probability = 1.0
+        for item in self.items:
+            if item in itemset:
+                continue
+            best = 0.0
+            for generalized in itemset:
+                leaves = label_leaves(str(generalized), hierarchy)
+                if item in leaves:
+                    best = max(best, 1.0 / len(leaves))
+            probability *= best
+            if probability == 0.0:
+                return 0.0
+        return probability
+
+    def _transaction_attribute(self, dataset: Dataset) -> str | None:
+        if self.transaction_attribute is not None:
+            return self.transaction_attribute
+        names = dataset.schema.transaction_names
+        if not names:
+            return None
+        return names[0]
+
+    # -- serialisation --------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "conditions": {
+                attribute: condition.to_dict()
+                for attribute, condition in self.conditions.items()
+            },
+            "items": sorted(self.items),
+            "transaction_attribute": self.transaction_attribute,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Query":
+        conditions = {
+            attribute: condition_from_dict(condition)
+            for attribute, condition in dict(data.get("conditions", {})).items()
+        }
+        return cls(
+            conditions=conditions,
+            items=data.get("items", ()),
+            transaction_attribute=data.get("transaction_attribute"),
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the query."""
+        parts = []
+        for attribute, condition in self.conditions.items():
+            if isinstance(condition, RangeCondition):
+                parts.append(f"{attribute} in [{condition.low}, {condition.high}]")
+            else:
+                parts.append(f"{attribute} in {sorted(condition.accepted)}")
+        if self.items:
+            parts.append(f"items ⊇ {sorted(self.items)}")
+        return "COUNT where " + " and ".join(parts)

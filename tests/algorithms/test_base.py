@@ -1,0 +1,77 @@
+"""Tests for the shared algorithm infrastructure."""
+
+import time
+
+import pytest
+
+from repro.algorithms.base import (
+    AnonymizationResult,
+    PhaseTimer,
+    apply_item_mapping,
+    apply_value_mapping,
+    relational_quasi_identifiers,
+    require_hierarchies,
+    validate_k,
+)
+from repro.exceptions import ConfigurationError
+from repro.hierarchy import build_categorical_hierarchy
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            time.sleep(0.01)
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert set(timer.phases) == {"a", "b"}
+        assert timer.phases["a"] >= 0.01
+        assert timer.total >= timer.phases["a"]
+
+
+class TestResultSummary:
+    def test_summary_flattens_parameters_and_statistics(self, toy_dataset):
+        result = AnonymizationResult(
+            dataset=toy_dataset,
+            algorithm="demo",
+            parameters={"k": 3},
+            runtime_seconds=0.5,
+            statistics={"gcp": 0.1},
+        )
+        summary = result.summary()
+        assert summary["algorithm"] == "demo"
+        assert summary["param_k"] == 3
+        assert summary["gcp"] == 0.1
+        assert summary["records"] == len(toy_dataset)
+
+
+class TestHelpers:
+    def test_relational_quasi_identifiers_excludes_sensitive(self, simple_relational):
+        assert relational_quasi_identifiers(simple_relational) == ["Age", "Zip"]
+
+    def test_require_hierarchies(self):
+        hierarchy = build_categorical_hierarchy(["a", "b"], fanout=2)
+        require_hierarchies(["X"], {"X": hierarchy}, "algo")
+        with pytest.raises(ConfigurationError):
+            require_hierarchies(["X", "Y"], {"X": hierarchy}, "algo")
+
+    def test_validate_k(self):
+        validate_k(2, 10, "algo")
+        with pytest.raises(ConfigurationError):
+            validate_k(1, 10, "algo")
+        with pytest.raises(ConfigurationError):
+            validate_k(11, 10, "algo")
+
+    def test_apply_value_mapping(self, simple_relational):
+        apply_value_mapping(simple_relational, "Zip", {"4370": "43**"})
+        assert simple_relational[0]["Zip"] == "43**"
+        assert simple_relational[2]["Zip"] == "4371"
+
+    def test_apply_item_mapping_suppresses_and_deduplicates(self, simple_transactions):
+        apply_item_mapping(
+            simple_transactions, "Items", {"a": "(a,b)", "b": "(a,b)", "e": None}
+        )
+        assert simple_transactions[0]["Items"] == frozenset({"(a,b)"})
+        assert "e" not in simple_transactions[5]["Items"]

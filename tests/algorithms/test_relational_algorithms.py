@@ -1,0 +1,185 @@
+"""Tests for the four relational anonymization algorithms.
+
+Every algorithm must (a) produce a k-anonymous dataset over the relational
+quasi-identifiers, (b) leave non-quasi-identifier and transaction attributes
+untouched, and (c) report runtime and statistics.  Algorithm-specific
+behaviour (lattice search, specialization, clustering) is tested separately.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    ClusterAnonymizer,
+    FullSubtreeBottomUp,
+    Incognito,
+    TopDownSpecialization,
+)
+from repro.datasets import generate_adult_like
+from repro.exceptions import AlgorithmError, ConfigurationError
+from repro.hierarchy import build_hierarchies_for_dataset
+from repro.metrics import global_certainty_penalty, is_k_anonymous
+
+QI = ["Age", "Education", "Marital", "Gender"]
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult_like(n_records=200, seed=17)
+
+
+@pytest.fixture(scope="module")
+def hierarchies(adult):
+    return build_hierarchies_for_dataset(adult, fanout=3, attributes=QI)
+
+
+def make_algorithm(name, k, hierarchies):
+    if name == "incognito":
+        return Incognito(k, hierarchies, attributes=QI)
+    if name == "top-down":
+        return TopDownSpecialization(k, hierarchies, attributes=QI)
+    if name == "full-subtree":
+        return FullSubtreeBottomUp(k, hierarchies, attributes=QI)
+    if name == "cluster":
+        return ClusterAnonymizer(k, hierarchies, attributes=QI)
+    raise ValueError(name)
+
+
+ALL_NAMES = ["incognito", "top-down", "full-subtree", "cluster"]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_output_is_k_anonymous(self, name, adult, hierarchies):
+        algorithm = make_algorithm(name, 5, hierarchies)
+        result = algorithm.anonymize(adult)
+        assert len(result.dataset) == len(adult)
+        assert is_k_anonymous(result.dataset, 5, attributes=QI)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_non_qi_attributes_untouched(self, name, adult, hierarchies):
+        algorithm = make_algorithm(name, 5, hierarchies)
+        result = algorithm.anonymize(adult)
+        assert result.dataset.column("Disease") == adult.column("Disease")
+        assert result.dataset.column("Workclass") == adult.column("Workclass")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_result_reports_runtime_and_statistics(self, name, adult, hierarchies):
+        algorithm = make_algorithm(name, 5, hierarchies)
+        result = algorithm.anonymize(adult)
+        assert result.runtime_seconds > 0
+        assert result.phase_seconds
+        assert result.statistics
+        assert result.algorithm == algorithm.name
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_larger_k_never_reduces_information_loss(self, name, adult, hierarchies):
+        small = make_algorithm(name, 2, hierarchies).anonymize(adult)
+        large = make_algorithm(name, 25, hierarchies).anonymize(adult)
+        gcp_small = global_certainty_penalty(adult, small.dataset, QI, hierarchies)
+        gcp_large = global_certainty_penalty(adult, large.dataset, QI, hierarchies)
+        assert gcp_large >= gcp_small - 1e-9
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_k_larger_than_dataset_rejected(self, name, adult, hierarchies):
+        algorithm = make_algorithm(name, len(adult) + 1, hierarchies)
+        with pytest.raises(ConfigurationError):
+            algorithm.anonymize(adult)
+
+    @pytest.mark.parametrize("name", ["incognito", "top-down", "full-subtree"])
+    def test_missing_hierarchy_rejected(self, name, adult, hierarchies):
+        partial = {"Age": hierarchies["Age"]}
+        if name == "incognito":
+            algorithm = Incognito(3, partial, attributes=QI)
+        elif name == "top-down":
+            algorithm = TopDownSpecialization(3, partial, attributes=QI)
+        else:
+            algorithm = FullSubtreeBottomUp(3, partial, attributes=QI)
+        with pytest.raises(ConfigurationError):
+            algorithm.anonymize(adult)
+
+
+class TestIncognito:
+    def test_reports_lattice_statistics(self, adult, hierarchies):
+        result = Incognito(5, hierarchies, attributes=QI).anonymize(adult)
+        stats = result.statistics
+        assert stats["nodes_checked"] <= stats["lattice_size"]
+        assert stats["minimal_solutions"] >= 1
+        assert set(stats["chosen_levels"]) == set(QI)
+
+    def test_full_domain_recoding_is_uniform_per_attribute(self, adult, hierarchies):
+        result = Incognito(5, hierarchies, attributes=QI).anonymize(adult)
+        # Full-domain recoding: all records with the same original value get
+        # the same generalized value.
+        original_to_published = {}
+        for original, published in zip(adult, result.dataset):
+            key = original["Education"]
+            value = published["Education"]
+            assert original_to_published.setdefault(key, value) == value
+
+    def test_requires_quasi_identifiers(self, hierarchies):
+        relational = generate_adult_like(n_records=20, seed=1)
+        for name in ["Age", "Hours", "Workclass", "Education", "Marital", "Occupation", "Gender"]:
+            relational.remove_attribute(name)
+        with pytest.raises(AlgorithmError):
+            Incognito(2, hierarchies).anonymize(relational)
+
+
+class TestTopDown:
+    def test_starts_anonymous_and_stays_anonymous(self, adult, hierarchies):
+        result = TopDownSpecialization(10, hierarchies, attributes=QI).anonymize(adult)
+        assert result.statistics["min_class_size"] >= 10
+
+    def test_specializes_below_the_root(self, adult, hierarchies):
+        result = TopDownSpecialization(5, hierarchies, attributes=QI).anonymize(adult)
+        assert result.statistics["specializations"] > 0
+        # At least one attribute should not be fully generalized.
+        assert any(size > 1 for size in result.statistics["cut_sizes"].values())
+
+
+class TestFullSubtree:
+    def test_levels_are_within_hierarchy_heights(self, adult, hierarchies):
+        result = FullSubtreeBottomUp(5, hierarchies, attributes=QI).anonymize(adult)
+        for attribute, level in result.statistics["chosen_levels"].items():
+            assert 0 <= level <= hierarchies[attribute].height
+
+    def test_no_generalization_when_data_is_already_anonymous(self, hierarchies, adult):
+        # Gender alone with k=2 is already satisfied by the raw data.
+        algorithm = FullSubtreeBottomUp(2, hierarchies, attributes=["Gender"])
+        result = algorithm.anonymize(adult)
+        assert result.statistics["generalization_steps"] == 0
+        assert result.dataset.column("Gender") == adult.column("Gender")
+
+
+class TestCluster:
+    def test_every_cluster_has_at_least_k_members(self, adult, hierarchies):
+        algorithm = ClusterAnonymizer(7, hierarchies, attributes=QI)
+        result = algorithm.anonymize(adult)
+        assert result.statistics["min_cluster_size"] >= 7
+        assert result.statistics["clusters"] == len(
+            result.statistics["cluster_assignment"]
+        )
+
+    def test_cluster_assignment_partitions_the_records(self, adult, hierarchies):
+        algorithm = ClusterAnonymizer(5, hierarchies, attributes=QI)
+        result = algorithm.anonymize(adult)
+        seen = sorted(
+            index
+            for cluster in result.statistics["cluster_assignment"]
+            for index in cluster
+        )
+        assert seen == list(range(len(adult)))
+
+    def test_local_recoding_beats_full_domain_on_utility(self, adult, hierarchies):
+        cluster_result = ClusterAnonymizer(5, hierarchies, attributes=QI).anonymize(adult)
+        incognito_result = Incognito(5, hierarchies, attributes=QI).anonymize(adult)
+        gcp_cluster = global_certainty_penalty(
+            adult, cluster_result.dataset, QI, hierarchies
+        )
+        gcp_incognito = global_certainty_penalty(
+            adult, incognito_result.dataset, QI, hierarchies
+        )
+        assert gcp_cluster <= gcp_incognito + 1e-9
+
+    def test_works_without_hierarchies(self, adult):
+        result = ClusterAnonymizer(5, attributes=QI).anonymize(adult)
+        assert is_k_anonymous(result.dataset, 5, attributes=QI)

@@ -1,0 +1,99 @@
+"""Tests for the ρ-uncertainty extension (the paper's named future work)."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.transaction import RhoUncertainty
+from repro.datasets import Attribute, Dataset, Schema, generate_market_basket
+from repro.exceptions import ConfigurationError
+
+
+def rule_confidences(dataset, sensitive_items, max_antecedent=1, attribute="Items"):
+    """Confidence of every rule X -> s on ``dataset`` (brute force, for tests)."""
+    itemsets = [record[attribute] for record in dataset]
+    non_empty = sum(1 for itemset in itemsets if itemset) or 1
+    universe = set().union(*itemsets) if itemsets else set()
+    confidences = {}
+    for sensitive in sensitive_items & universe:
+        support_s = sum(1 for itemset in itemsets if sensitive in itemset)
+        confidences[(frozenset(), sensitive)] = support_s / non_empty
+        others = sorted(universe - {sensitive})
+        for size in range(1, max_antecedent + 1):
+            for antecedent in itertools.combinations(others, size):
+                support_x = sum(1 for itemset in itemsets if set(antecedent) <= itemset)
+                if not support_x:
+                    continue
+                support_xs = sum(
+                    1
+                    for itemset in itemsets
+                    if set(antecedent) <= itemset and sensitive in itemset
+                )
+                confidences[(frozenset(antecedent), sensitive)] = support_xs / support_x
+    return confidences
+
+
+@pytest.fixture
+def clinical():
+    """A small dataset where knowing 'a' strongly implies the sensitive 'hiv'."""
+    schema = Schema([Attribute.transaction("Items")])
+    rows = (
+        [{"Items": ["a", "hiv"]}] * 6
+        + [{"Items": ["a", "flu"]}] * 2
+        + [{"Items": ["b", "flu"]}] * 8
+        + [{"Items": ["b"]}] * 4
+    )
+    return Dataset(schema, rows)
+
+
+class TestValidation:
+    def test_parameter_checks(self):
+        with pytest.raises(ConfigurationError):
+            RhoUncertainty(rho=0.0, sensitive_items=["s"])
+        with pytest.raises(ConfigurationError):
+            RhoUncertainty(rho=1.0, sensitive_items=["s"])
+        with pytest.raises(ConfigurationError):
+            RhoUncertainty(rho=0.5, sensitive_items=[])
+        with pytest.raises(ConfigurationError):
+            RhoUncertainty(rho=0.5, sensitive_items=["s"], max_antecedent=-1)
+
+
+class TestProtection:
+    def test_violating_rules_are_removed(self, clinical):
+        algorithm = RhoUncertainty(rho=0.5, sensitive_items={"hiv"}, max_antecedent=1)
+        result = algorithm.anonymize(clinical)
+        confidences = rule_confidences(result.dataset, {"hiv"})
+        assert all(value <= 0.5 + 1e-9 for value in confidences.values())
+        assert result.statistics["residual_violations"] == 0
+
+    def test_already_safe_data_is_untouched(self, clinical):
+        algorithm = RhoUncertainty(rho=0.99, sensitive_items={"hiv"}, max_antecedent=1)
+        result = algorithm.anonymize(clinical)
+        assert result.statistics["suppressed_items"] == []
+        assert result.statistics["suppression_ratio"] == 0.0
+
+    def test_non_sensitive_items_survive_where_possible(self, clinical):
+        algorithm = RhoUncertainty(rho=0.5, sensitive_items={"hiv"}, max_antecedent=1)
+        result = algorithm.anonymize(clinical)
+        remaining = result.dataset.item_universe()
+        # 'b' and 'flu' are unrelated to the sensitive inference and must stay.
+        assert {"b", "flu"} <= remaining
+
+    def test_zero_antecedent_limits_overall_frequency(self):
+        schema = Schema([Attribute.transaction("Items")])
+        rows = [{"Items": ["s"]}] * 9 + [{"Items": ["x"]}] * 1
+        dataset = Dataset(schema, rows)
+        result = RhoUncertainty(
+            rho=0.5, sensitive_items={"s"}, max_antecedent=0
+        ).anonymize(dataset)
+        supports = sum(1 for record in result.dataset if "s" in record["Items"])
+        non_empty = sum(1 for record in result.dataset if record["Items"]) or 1
+        assert supports / non_empty <= 0.5 or supports == 0
+
+    def test_scales_to_generated_baskets(self):
+        baskets = generate_market_basket(n_records=150, n_items=20, seed=9)
+        sensitive = {"i000", "i001"}
+        result = RhoUncertainty(rho=0.3, sensitive_items=sensitive).anonymize(baskets)
+        confidences = rule_confidences(result.dataset, sensitive)
+        assert all(value <= 0.3 + 1e-9 for value in confidences.values())
+        assert 0.0 <= result.statistics["utility_loss"] <= 1.0

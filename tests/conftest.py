@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    Attribute,
+    Dataset,
+    Schema,
+    generate_adult_like,
+    generate_market_basket,
+    generate_rt_dataset,
+    toy_rt_dataset,
+)
+from repro.hierarchy import build_hierarchies_for_dataset
+
+
+@pytest.fixture
+def toy_dataset() -> Dataset:
+    """The tiny hand-written RT-dataset from the documentation."""
+    return toy_rt_dataset()
+
+
+@pytest.fixture
+def relational_dataset() -> Dataset:
+    """A small census-like relational dataset (deterministic)."""
+    return generate_adult_like(n_records=200, seed=3)
+
+
+@pytest.fixture
+def transaction_dataset() -> Dataset:
+    """A small market-basket transaction dataset (deterministic)."""
+    return generate_market_basket(n_records=200, n_items=30, seed=5)
+
+
+@pytest.fixture
+def rt_dataset() -> Dataset:
+    """A small RT-dataset combining the two above (deterministic)."""
+    return generate_rt_dataset(n_records=150, n_items=25, seed=9)
+
+
+@pytest.fixture
+def rt_hierarchies(rt_dataset):
+    """Automatically generated hierarchies for every QI attribute."""
+    return build_hierarchies_for_dataset(rt_dataset, fanout=3)
+
+
+@pytest.fixture
+def simple_relational() -> Dataset:
+    """A minimal purely relational dataset with obvious equivalence classes."""
+    schema = Schema(
+        [
+            Attribute.numeric("Age"),
+            Attribute.categorical("Zip"),
+            Attribute.categorical("Disease", quasi_identifier=False),
+        ]
+    )
+    rows = [
+        {"Age": 21, "Zip": "4370", "Disease": "Flu"},
+        {"Age": 22, "Zip": "4370", "Disease": "Flu"},
+        {"Age": 23, "Zip": "4371", "Disease": "Cold"},
+        {"Age": 24, "Zip": "4371", "Disease": "Cold"},
+        {"Age": 51, "Zip": "5500", "Disease": "Asthma"},
+        {"Age": 52, "Zip": "5500", "Disease": "Asthma"},
+        {"Age": 53, "Zip": "5501", "Disease": "Flu"},
+        {"Age": 54, "Zip": "5501", "Disease": "Cold"},
+    ]
+    return Dataset(schema, rows, name="simple-relational")
+
+
+@pytest.fixture
+def simple_transactions() -> Dataset:
+    """A minimal transaction dataset with a small item universe."""
+    schema = Schema([Attribute.transaction("Items")])
+    rows = [
+        {"Items": ["a", "b"]},
+        {"Items": ["a", "b", "c"]},
+        {"Items": ["a", "c"]},
+        {"Items": ["b", "c"]},
+        {"Items": ["a", "d"]},
+        {"Items": ["d", "e"]},
+        {"Items": ["a", "b", "d"]},
+        {"Items": ["c", "d", "e"]},
+        {"Items": ["a"]},
+        {"Items": ["b"]},
+    ]
+    return Dataset(schema, rows, name="simple-transactions")

@@ -1,0 +1,99 @@
+"""Tests for attribute and schema definitions."""
+
+import pytest
+
+from repro.datasets import Attribute, AttributeKind, Schema
+from repro.exceptions import SchemaError
+
+
+class TestAttribute:
+    def test_convenience_constructors_set_kind(self):
+        assert Attribute.categorical("Education").kind is AttributeKind.CATEGORICAL
+        assert Attribute.numeric("Age").kind is AttributeKind.NUMERIC
+        assert Attribute.transaction("Items").kind is AttributeKind.TRANSACTION
+
+    def test_relational_and_transaction_flags(self):
+        assert Attribute.numeric("Age").is_relational
+        assert Attribute.categorical("Education").is_relational
+        assert not Attribute.transaction("Items").is_relational
+        assert Attribute.transaction("Items").is_transaction
+
+    def test_quasi_identifier_defaults_to_true(self):
+        assert Attribute.categorical("Education").quasi_identifier
+        assert not Attribute.categorical("Disease", quasi_identifier=False).quasi_identifier
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", AttributeKind.CATEGORICAL)
+
+    def test_attributes_are_hashable_and_frozen(self):
+        attribute = Attribute.numeric("Age")
+        assert {attribute: 1}[Attribute.numeric("Age")] == 1
+        with pytest.raises(AttributeError):
+            attribute.name = "Other"
+
+
+class TestSchema:
+    def make_schema(self) -> Schema:
+        return Schema(
+            [
+                Attribute.numeric("Age"),
+                Attribute.categorical("Education"),
+                Attribute.transaction("Items"),
+                Attribute.categorical("Disease", quasi_identifier=False),
+            ]
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute.numeric("Age"), Attribute.categorical("Age")])
+
+    def test_relational_and_transaction_views(self):
+        schema = self.make_schema()
+        assert schema.relational_names == ["Age", "Education", "Disease"]
+        assert schema.transaction_names == ["Items"]
+        assert schema.is_rt_schema()
+
+    def test_quasi_identifiers_view(self):
+        schema = self.make_schema()
+        names = [a.name for a in schema.quasi_identifiers]
+        assert names == ["Age", "Education", "Items"]
+
+    def test_lookup_and_index(self):
+        schema = self.make_schema()
+        assert schema["Education"].is_categorical
+        assert schema.index_of("Items") == 2
+        assert "Age" in schema
+        assert "Missing" not in schema
+
+    def test_unknown_attribute_raises(self):
+        schema = self.make_schema()
+        with pytest.raises(SchemaError):
+            schema["Missing"]
+        with pytest.raises(SchemaError):
+            schema.index_of("Missing")
+
+    def test_with_and_without_attribute_are_nondestructive(self):
+        schema = self.make_schema()
+        extended = schema.with_attribute(Attribute.categorical("Country"))
+        assert "Country" in extended
+        assert "Country" not in schema
+        reduced = schema.without_attribute("Items")
+        assert "Items" not in reduced
+        assert "Items" in schema
+
+    def test_renamed(self):
+        schema = self.make_schema()
+        renamed = schema.renamed("Age", "YearsOld")
+        assert "YearsOld" in renamed
+        assert "Age" not in renamed
+        assert renamed["YearsOld"].is_numeric
+        with pytest.raises(SchemaError):
+            schema.renamed("Age", "Education")
+        with pytest.raises(SchemaError):
+            schema.renamed("Missing", "Whatever")
+
+    def test_equality_and_iteration_order(self):
+        schema = self.make_schema()
+        assert schema == self.make_schema()
+        assert [a.name for a in schema] == ["Age", "Education", "Items", "Disease"]

@@ -1,0 +1,84 @@
+"""Tests for the headless Dataset Editor."""
+
+import pytest
+
+from repro.datasets import Attribute, DatasetEditor, toy_rt_dataset
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def editor() -> DatasetEditor:
+    return DatasetEditor(toy_rt_dataset())
+
+
+class TestEditing:
+    def test_rename_attribute(self, editor):
+        editor.rename_attribute("Education", "Degree")
+        assert "Degree" in editor.dataset.schema
+
+    def test_set_value_and_undo(self, editor):
+        original = editor.dataset[0]["Age"]
+        editor.set_value(0, "Age", 99)
+        assert editor.dataset[0]["Age"] == 99
+        editor.undo()
+        assert editor.dataset[0]["Age"] == original
+
+    def test_add_and_delete_record(self, editor):
+        n = len(editor.dataset)
+        editor.add_record({"Age": 33, "Education": "Masters", "Items": ["tea"]})
+        assert len(editor.dataset) == n + 1
+        editor.delete_record(0)
+        assert len(editor.dataset) == n
+
+    def test_add_and_delete_attribute(self, editor):
+        editor.add_attribute(Attribute.categorical("Country"), default="GR")
+        assert editor.dataset.column("Country") == ["GR"] * len(editor.dataset)
+        editor.delete_attribute("Country")
+        assert "Country" not in editor.dataset.schema
+
+    def test_transform_column(self, editor):
+        editor.transform_column("Age", lambda age: age + 1)
+        assert editor.dataset[0]["Age"] == 26
+
+
+class TestUndoRedo:
+    def test_undo_redo_cycle(self, editor):
+        editor.set_value(0, "Age", 99)
+        editor.undo()
+        assert editor.dataset[0]["Age"] == 25
+        editor.redo()
+        assert editor.dataset[0]["Age"] == 99
+
+    def test_new_edit_clears_redo(self, editor):
+        editor.set_value(0, "Age", 99)
+        editor.undo()
+        editor.set_value(0, "Age", 50)
+        assert not editor.can_redo
+        with pytest.raises(DatasetError):
+            editor.redo()
+
+    def test_undo_empty_history_raises(self, editor):
+        with pytest.raises(DatasetError):
+            editor.undo()
+
+    def test_multiple_undo_steps(self, editor):
+        editor.set_value(0, "Age", 1)
+        editor.set_value(0, "Age", 2)
+        editor.set_value(0, "Age", 3)
+        editor.undo()
+        editor.undo()
+        assert editor.dataset[0]["Age"] == 1
+        editor.undo()
+        assert editor.dataset[0]["Age"] == 25
+
+
+class TestPersistenceAndAnalysis:
+    def test_open_save_round_trip(self, tmp_path, editor):
+        path = editor.save(tmp_path / "out.csv")
+        reopened = DatasetEditor.open(path, transaction_columns=["Items"])
+        assert len(reopened.dataset) == len(editor.dataset)
+
+    def test_histogram_delegates_to_statistics(self, editor):
+        histogram = editor.histogram("Education")
+        assert histogram["kind"] == "categorical"
+        assert sum(histogram["counts"]) == len(editor.dataset)

@@ -1,0 +1,94 @@
+"""Tests for synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import (
+    generate_adult_like,
+    generate_market_basket,
+    generate_rt_dataset,
+    toy_rt_dataset,
+    value_frequencies,
+)
+from repro.exceptions import DatasetError
+
+
+class TestAdultLike:
+    def test_shape_and_schema(self):
+        dataset = generate_adult_like(n_records=100, seed=1)
+        assert len(dataset) == 100
+        assert dataset.schema["Age"].is_numeric
+        assert dataset.schema["Education"].is_categorical
+        assert not dataset.schema["Disease"].quasi_identifier
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_adult_like(n_records=50, seed=42)
+        b = generate_adult_like(n_records=50, seed=42)
+        assert a.to_rows() == b.to_rows()
+
+    def test_different_seeds_differ(self):
+        a = generate_adult_like(n_records=50, seed=1)
+        b = generate_adult_like(n_records=50, seed=2)
+        assert a.to_rows() != b.to_rows()
+
+    def test_age_bounds(self):
+        dataset = generate_adult_like(n_records=300, seed=3)
+        ages = dataset.column("Age")
+        assert min(ages) >= 17
+        assert max(ages) <= 90
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_adult_like(n_records=0)
+
+    def test_sensitive_attribute_optional(self):
+        dataset = generate_adult_like(n_records=10, include_sensitive=False)
+        assert "Disease" not in dataset.schema
+
+
+class TestMarketBasket:
+    def test_shape(self):
+        dataset = generate_market_basket(n_records=100, n_items=20, seed=1)
+        assert len(dataset) == 100
+        assert dataset.schema["Items"].is_transaction
+        assert len(dataset.item_universe()) <= 20
+
+    def test_skewed_item_distribution(self):
+        dataset = generate_market_basket(n_records=500, n_items=40, seed=2)
+        frequencies = sorted(value_frequencies(dataset, "Items").values(), reverse=True)
+        # The most popular item should dominate the median item.
+        assert frequencies[0] > 3 * frequencies[len(frequencies) // 2]
+
+    def test_baskets_are_non_empty(self):
+        dataset = generate_market_basket(n_records=200, n_items=15, seed=3)
+        assert all(len(record["Items"]) >= 1 for record in dataset)
+
+    def test_deterministic(self):
+        a = generate_market_basket(n_records=30, seed=7)
+        b = generate_market_basket(n_records=30, seed=7)
+        assert a.to_rows() == b.to_rows()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            generate_market_basket(n_records=0)
+        with pytest.raises(DatasetError):
+            generate_market_basket(n_items=0)
+        with pytest.raises(DatasetError):
+            generate_market_basket(avg_items_per_record=0)
+
+
+class TestRtDataset:
+    def test_combines_relational_and_transaction(self):
+        dataset = generate_rt_dataset(n_records=80, n_items=20, seed=5)
+        assert dataset.is_rt_dataset
+        assert len(dataset) == 80
+        assert dataset.single_transaction_attribute() == "Items"
+
+    def test_deterministic(self):
+        a = generate_rt_dataset(n_records=40, seed=11)
+        b = generate_rt_dataset(n_records=40, seed=11)
+        assert a.to_rows() == b.to_rows()
+
+    def test_toy_dataset_is_rt(self):
+        toy = toy_rt_dataset()
+        assert toy.is_rt_dataset
+        assert len(toy) == 8

@@ -1,0 +1,82 @@
+"""Tests for anonymization configurations."""
+
+import pytest
+
+from repro.engine import (
+    AnonymizationConfig,
+    relational_config,
+    rt_config,
+    transaction_config,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_needs_at_least_one_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            AnonymizationConfig()
+
+    def test_algorithm_kind_checked(self):
+        with pytest.raises(ConfigurationError):
+            AnonymizationConfig(relational_algorithm="coat")
+        with pytest.raises(ConfigurationError):
+            AnonymizationConfig(transaction_algorithm="incognito")
+        with pytest.raises(ConfigurationError):
+            rt_config("cluster", "coat", bounding="incognito")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relational_config("nope")
+
+    def test_parameter_bounds(self):
+        with pytest.raises(ConfigurationError):
+            relational_config("cluster", k=1)
+        with pytest.raises(ConfigurationError):
+            transaction_config("apriori", m=0)
+        with pytest.raises(ConfigurationError):
+            rt_config("cluster", "apriori", delta=2.0)
+
+
+class TestDerivedViews:
+    def test_mode(self):
+        assert relational_config("cluster").mode == "relational"
+        assert transaction_config("coat").mode == "transaction"
+        assert rt_config("cluster", "coat").mode == "rt"
+
+    def test_display_label(self):
+        assert relational_config("incognito").display_label == "incognito"
+        assert (
+            rt_config("cluster", "coat", bounding="tmerger").display_label
+            == "cluster+coat/tmerger"
+        )
+        assert relational_config("cluster", label="mine").display_label == "mine"
+
+    def test_describe_contains_parameters(self):
+        description = rt_config("cluster", "apriori", k=7, m=3, delta=0.2).describe()
+        assert description["k"] == 7
+        assert description["m"] == 3
+        assert description["delta"] == 0.2
+        assert description["mode"] == "rt"
+
+
+class TestSweeping:
+    def test_with_parameter_casts_types(self):
+        config = rt_config("cluster", "apriori", k=5)
+        assert config.with_parameter("k", 10.0).k == 10
+        assert isinstance(config.with_parameter("k", 10.0).k, int)
+        assert config.with_parameter("delta", 0.25).delta == 0.25
+
+    def test_with_parameter_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            relational_config("cluster").with_parameter("fanout", 3)
+
+    def test_replace(self):
+        config = relational_config("cluster", k=5)
+        other = config.replace(label="renamed")
+        assert other.label == "renamed"
+        assert config.label is None
+
+    def test_configs_are_immutable(self):
+        config = relational_config("cluster")
+        with pytest.raises(Exception):
+            config.k = 10

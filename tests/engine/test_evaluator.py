@@ -1,0 +1,76 @@
+"""Tests for the Method Evaluator (Evaluation mode)."""
+
+import pytest
+
+from repro.engine import (
+    ExperimentResources,
+    MethodEvaluator,
+    relational_config,
+    rt_config,
+    transaction_config,
+)
+
+
+@pytest.fixture(scope="module")
+def rt(request):
+    from repro.datasets import generate_rt_dataset
+
+    return generate_rt_dataset(n_records=100, n_items=18, seed=23)
+
+
+class TestEvaluationReport:
+    def test_relational_only_report(self, rt):
+        evaluator = MethodEvaluator(rt)
+        report = evaluator.evaluate(relational_config("cluster", k=4))
+        assert report.are >= 0
+        assert "relational_gcp" in report.utility
+        assert "discernibility" in report.utility
+        assert report.privacy["k_anonymous"] is True
+        assert report.privacy["min_class_size"] >= 4
+        assert "transaction_ul" not in report.utility
+        assert report.generalized_value_frequencies  # Figure 3(c) series
+        assert report.runtime_seconds > 0
+
+    def test_transaction_only_report(self, rt):
+        evaluator = MethodEvaluator(rt)
+        report = evaluator.evaluate(transaction_config("apriori", k=4, m=2))
+        assert "transaction_ul" in report.utility
+        assert "item_frequency_error" in report.utility
+        assert report.privacy["km_anonymous"] is True
+        assert report.item_frequency_errors  # Figure 3(d) series
+        assert not report.generalized_value_frequencies
+
+    def test_rt_report_checks_k_km(self, rt):
+        evaluator = MethodEvaluator(rt)
+        report = evaluator.evaluate(
+            rt_config("cluster", "apriori", bounding="tmerger", k=4, m=2, delta=0.8)
+        )
+        assert report.privacy["k_km_anonymous"] is True
+        assert "relational_gcp" in report.utility
+        assert "transaction_ul" in report.utility
+
+    def test_privacy_verification_can_be_skipped(self, rt):
+        evaluator = MethodEvaluator(rt, verify_privacy=False)
+        report = evaluator.evaluate(transaction_config("apriori", k=4, m=1))
+        assert report.privacy["km_anonymous"] is None
+
+    def test_km_check_skipped_for_large_universes(self, rt):
+        evaluator = MethodEvaluator(rt, km_check_limit=1)
+        report = evaluator.evaluate(transaction_config("apriori", k=4, m=1))
+        assert report.privacy["km_anonymous"] is None
+
+    def test_summary_row_is_flat(self, rt):
+        evaluator = MethodEvaluator(rt)
+        report = evaluator.evaluate(relational_config("cluster", k=4, label="CL"))
+        summary = report.summary()
+        assert summary["configuration"] == "CL"
+        assert "utility_relational_gcp" in summary
+        assert "privacy_k_anonymous" in summary
+
+    def test_resources_are_reused_across_evaluations(self, rt):
+        resources = ExperimentResources.prepare(rt, transaction_config("apriori", k=4))
+        evaluator = MethodEvaluator(rt, resources)
+        first = evaluator.evaluate(transaction_config("apriori", k=4, m=1))
+        second = evaluator.evaluate(transaction_config("apriori", k=6, m=1))
+        assert resources.workload is not None
+        assert first.are <= second.are + 1e9  # both computed with the same workload

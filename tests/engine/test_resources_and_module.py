@@ -1,0 +1,96 @@
+"""Tests for experiment resources and the Anonymization Module."""
+
+import pytest
+
+from repro.algorithms import Coat, Incognito, Pcta, RTmerger
+from repro.engine import (
+    AnonymizationModule,
+    ExperimentResources,
+    relational_config,
+    rt_config,
+    transaction_config,
+)
+from repro.exceptions import ConfigurationError
+from repro.hierarchy import build_item_hierarchy
+
+
+class TestResources:
+    def test_prepare_generates_hierarchies_for_relational(self, rt_dataset):
+        config = relational_config("incognito", k=4)
+        resources = ExperimentResources.prepare(rt_dataset, config)
+        relational = [a.name for a in rt_dataset.schema.relational if a.quasi_identifier]
+        assert set(relational) <= set(resources.hierarchies)
+        assert resources.workload is not None
+
+    def test_prepare_generates_item_hierarchy_and_policies(self, rt_dataset):
+        config = transaction_config("coat", k=4)
+        resources = ExperimentResources.prepare(rt_dataset, config)
+        assert resources.item_hierarchy is not None
+        assert resources.privacy_policy is not None
+        assert resources.privacy_policy.k == 4
+        assert resources.utility_policy is not None
+
+    def test_policies_not_generated_for_hierarchy_algorithms(self, rt_dataset):
+        config = transaction_config("apriori", k=4)
+        resources = ExperimentResources.prepare(rt_dataset, config)
+        assert resources.privacy_policy is None
+
+    def test_existing_resources_are_kept(self, rt_dataset):
+        item_hierarchy = build_item_hierarchy(rt_dataset.item_universe("Items"), fanout=3)
+        resources = ExperimentResources.prepare(
+            rt_dataset, transaction_config("apriori", k=3), item_hierarchy=item_hierarchy
+        )
+        assert resources.item_hierarchy is item_hierarchy
+
+    def test_policy_regenerated_when_k_changes(self, rt_dataset):
+        config = transaction_config("coat", k=4)
+        resources = ExperimentResources.prepare(rt_dataset, config)
+        first = resources.privacy_policy
+        resources.ensure_for(rt_dataset, config.with_parameter("k", 8))
+        assert resources.privacy_policy.k == 8
+        assert resources.privacy_policy is not first
+
+    def test_summary(self, rt_dataset):
+        resources = ExperimentResources.prepare(rt_dataset, rt_config("cluster", "coat", k=3))
+        summary = resources.summary()
+        assert summary["item_hierarchy"] is True
+        assert summary["workload_queries"] > 0
+
+
+class TestAnonymizationModule:
+    def test_builds_relational_algorithm(self, rt_dataset):
+        config = relational_config("incognito", k=4)
+        resources = ExperimentResources.prepare(rt_dataset, config)
+        module = AnonymizationModule(rt_dataset, resources)
+        assert isinstance(module.build_algorithm(config), Incognito)
+
+    def test_builds_policy_based_transaction_algorithms(self, rt_dataset):
+        resources = ExperimentResources.prepare(rt_dataset, transaction_config("coat", k=3))
+        module = AnonymizationModule(rt_dataset, resources)
+        assert isinstance(module.build_algorithm(transaction_config("coat", k=3)), Coat)
+        resources.ensure_for(rt_dataset, transaction_config("pcta", k=3))
+        assert isinstance(module.build_algorithm(transaction_config("pcta", k=3)), Pcta)
+
+    def test_builds_rt_bounding(self, rt_dataset):
+        config = rt_config("cluster", "apriori", bounding="rtmerger", k=3, m=1)
+        resources = ExperimentResources.prepare(rt_dataset, config)
+        module = AnonymizationModule(rt_dataset, resources)
+        algorithm = module.build_algorithm(config)
+        assert isinstance(algorithm, RTmerger)
+        assert algorithm.k == 3
+
+    def test_run_returns_result_with_label(self, rt_dataset):
+        config = transaction_config("apriori", k=3, m=1, label="AA")
+        resources = ExperimentResources.prepare(rt_dataset, config)
+        module = AnonymizationModule(rt_dataset, resources)
+        result = module.run(config)
+        assert result.parameters["configuration"] == "AA"
+        assert len(result.dataset) == len(rt_dataset)
+
+    def test_unknown_transaction_algorithm_rejected(self, rt_dataset):
+        resources = ExperimentResources.prepare(rt_dataset, transaction_config("apriori", k=3))
+        module = AnonymizationModule(rt_dataset, resources)
+        config = transaction_config("apriori", k=3)
+        object.__setattr__(config, "transaction_algorithm", "bogus")
+        with pytest.raises(ConfigurationError):
+            module.build_transaction(config)

@@ -1,0 +1,131 @@
+"""Tests for the Data Export Module and the configuration/queries editors."""
+
+import json
+
+import pytest
+
+from repro.datasets import toy_rt_dataset
+from repro.engine import MethodEvaluator, Series, transaction_config
+from repro.exceptions import ConfigurationError, QueryError
+from repro.frontend import DataExportModule, export_series_csv
+from repro.frontend.editors import ConfigurationEditor, QueriesEditor
+from repro.queries import Query
+
+
+class TestExportModule:
+    def test_export_dataset_and_workload(self, tmp_path, rt_dataset):
+        exporter = DataExportModule(tmp_path)
+        dataset_path = exporter.export_dataset(rt_dataset)
+        assert dataset_path.exists()
+        editor = QueriesEditor(rt_dataset)
+        workload = editor.generate(n_queries=5, seed=1)
+        assert exporter.export_workload(workload).exists()
+
+    def test_export_series_csv(self, tmp_path):
+        series = Series(name="s", x_label="k", y_label="are")
+        series.append(2, 0.5)
+        path = export_series_csv(series, tmp_path / "series.csv")
+        content = path.read_text()
+        assert "k,are" in content
+        assert "2,0.5" in content
+
+    def test_export_evaluation_writes_summary_and_dataset(self, tmp_path, rt_dataset):
+        report = MethodEvaluator(rt_dataset).evaluate(
+            transaction_config("apriori", k=3, m=1)
+        )
+        exporter = DataExportModule(tmp_path)
+        written = exporter.export_evaluation(report)
+        assert written["anonymized"].exists()
+        summary = json.loads(written["summary"].read_text())
+        assert "are" in summary
+        assert "phase_seconds" in summary
+
+    def test_export_hierarchies_and_policies(self, tmp_path, rt_dataset):
+        configuration = ConfigurationEditor(rt_dataset)
+        configuration.generate_hierarchies(fanout=3)
+        configuration.generate_policies(k=3)
+        exporter = DataExportModule(tmp_path)
+        hierarchy_paths = exporter.export_hierarchies(configuration.hierarchies)
+        assert all(path.exists() for path in hierarchy_paths.values())
+        policy_paths = exporter.export_policies(
+            configuration.privacy_policy, configuration.utility_policy
+        )
+        assert set(policy_paths) == {"privacy", "utility"}
+
+
+class TestConfigurationEditor:
+    def test_generate_and_browse_hierarchies(self, rt_dataset):
+        editor = ConfigurationEditor(rt_dataset)
+        generated = editor.generate_hierarchies(attributes=["Age"], fanout=3)
+        assert "Age" in generated
+        rows = editor.browse_hierarchy("Age")
+        assert rows and rows[0][-1] == "*"
+
+    def test_browse_unknown_hierarchy_raises(self, rt_dataset):
+        with pytest.raises(ConfigurationError):
+            ConfigurationEditor(rt_dataset).browse_hierarchy("Age")
+
+    def test_save_and_reload_hierarchies(self, tmp_path, rt_dataset):
+        editor = ConfigurationEditor(rt_dataset)
+        editor.generate_hierarchies(attributes=["Education"], fanout=3)
+        editor.save_hierarchies(tmp_path)
+        fresh = ConfigurationEditor(rt_dataset)
+        loaded = fresh.load_hierarchy_directory(tmp_path)
+        assert "Education" in loaded
+
+    def test_save_without_hierarchies_raises(self, tmp_path, rt_dataset):
+        with pytest.raises(ConfigurationError):
+            ConfigurationEditor(rt_dataset).save_hierarchies(tmp_path)
+
+    def test_generate_and_save_policies(self, tmp_path, rt_dataset):
+        editor = ConfigurationEditor(rt_dataset)
+        privacy, utility = editor.generate_policies(k=4)
+        assert privacy.k == 4
+        written = editor.save_policies(tmp_path)
+        reloaded = ConfigurationEditor(rt_dataset)
+        assert reloaded.load_privacy_policy(written["privacy"]).k == 4
+        assert len(reloaded.load_utility_policy(written["utility"])) == len(utility)
+
+    def test_save_policies_without_any_raises(self, tmp_path, rt_dataset):
+        with pytest.raises(ConfigurationError):
+            ConfigurationEditor(rt_dataset).save_policies(tmp_path)
+
+
+class TestQueriesEditor:
+    def test_generate_edit_save_load(self, tmp_path, rt_dataset):
+        editor = QueriesEditor(rt_dataset)
+        workload = editor.generate(n_queries=6, seed=2)
+        initial = len(workload)
+        editor.add_query(Query(items=["i001"]))
+        assert len(editor.workload) == initial + 1
+        editor.remove_query(0)
+        assert len(editor.workload) == initial
+        path = editor.save(tmp_path / "workload.json")
+        fresh = QueriesEditor(rt_dataset)
+        assert len(fresh.load(path)) == initial
+
+    def test_describe_lists_queries(self, rt_dataset):
+        editor = QueriesEditor(rt_dataset)
+        editor.add_query(Query(items=["i001"]))
+        descriptions = editor.describe()
+        assert len(descriptions) == 1
+        assert "i001" in descriptions[0]
+
+    def test_operations_without_workload_raise(self, rt_dataset, tmp_path):
+        editor = QueriesEditor(rt_dataset)
+        with pytest.raises(QueryError):
+            editor.remove_query(0)
+        with pytest.raises(QueryError):
+            editor.save(tmp_path / "w.json")
+        assert editor.describe() == []
+
+    def test_dataset_editor_round_trip_still_loadable(self, tmp_path):
+        # The demonstration edits the dataset and overwrites it; the stored
+        # file must load back into a session.
+        from repro.frontend import Session
+
+        session = Session(toy_rt_dataset())
+        session.dataset_editor.set_value(0, "Education", "PhD")
+        path = session.dataset_editor.save(tmp_path / "edited.csv")
+        reopened = Session.from_csv(path, transaction_columns=["Items"])
+        assert reopened.dataset[0]["Education"] == "PhD"

@@ -1,0 +1,119 @@
+"""Tests for the text plotting module."""
+
+import math
+
+import pytest
+
+from repro.engine import Series
+from repro.engine.results import ComparisonReport, SweepResult
+from repro.frontend import (
+    Figure,
+    comparison_figure,
+    frequency_figure,
+    phase_runtime_figure,
+    render_bar_chart,
+    render_histogram,
+    render_line_chart,
+)
+
+
+def make_series(name="s", ys=(1.0, 2.0, 3.0)):
+    series = Series(name=name, x_label="k", y_label="are")
+    for x, y in enumerate(ys):
+        series.append(x, y)
+    return series
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = render_bar_chart(["a", "bb"], [1, 2], title="demo")
+        assert "demo" in text
+        assert " a |" in text
+        assert "bb |" in text
+        assert "2" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1, 2])
+
+    def test_empty_chart(self):
+        assert "(no data)" in render_bar_chart([], [], title="empty")
+
+    def test_max_rows_truncates(self):
+        text = render_bar_chart(list("abcdef"), range(6), max_rows=2)
+        assert "c |" not in text
+
+
+class TestHistogramRendering:
+    def test_categorical(self, toy_dataset):
+        from repro.datasets import attribute_histogram
+
+        text = render_histogram(attribute_histogram(toy_dataset, "Education"))
+        assert "Histogram of Education" in text
+        assert "Bachelors" in text
+
+    def test_numeric(self, toy_dataset):
+        from repro.datasets import attribute_histogram
+
+        text = render_histogram(attribute_histogram(toy_dataset, "Age", bins=3))
+        assert "Histogram of Age" in text
+        assert "[" in text
+
+
+class TestLineChart:
+    def test_renders_axis_and_legend(self):
+        text = render_line_chart([make_series("are-curve")], title="ARE vs k")
+        assert "ARE vs k" in text
+        assert "are-curve" in text
+        assert "└" in text
+
+    def test_multiple_series_use_distinct_markers(self):
+        text = render_line_chart([make_series("a"), make_series("b", ys=(3, 2, 1))])
+        assert "o a" in text
+        assert "x b" in text
+
+    def test_empty_and_infinite_series(self):
+        assert "(no data)" in render_line_chart([])
+        series = Series(name="inf", x_label="k", y_label="are")
+        series.append(1, math.inf)
+        assert "(no finite data)" in render_line_chart([series])
+
+
+class TestFigures:
+    def test_figure_rows_align_series(self):
+        figure = Figure(title="f").add(make_series("a")).add(make_series("b", ys=(9, 8, 7)))
+        rows = figure.to_rows()
+        assert len(rows) == 3
+        assert rows[0]["a"] == 1.0
+        assert rows[0]["b"] == 9.0
+
+    def test_figure_as_dict(self):
+        figure = Figure(title="f", series=[make_series()])
+        data = figure.as_dict()
+        assert data["title"] == "f"
+        assert len(data["series"]) == 1
+
+    def test_phase_runtime_figure_is_bar(self):
+        figure = phase_runtime_figure({"search": 0.5, "apply": 0.1})
+        assert figure.kind == "bar"
+        assert "search" in figure.to_text()
+
+    def test_frequency_figure_skips_infinite_and_truncates(self):
+        figure = frequency_figure({"a": 3, "b": math.inf, "c": 1}, title="freq", max_rows=5)
+        labels = figure.series[0].x
+        assert "b" not in labels
+        assert labels[0] == "a"
+
+    def test_comparison_figure_one_curve_per_configuration(self):
+        sweep_a = SweepResult(
+            configuration={"label": "A"}, parameter="k", values=[1, 2],
+            series={"are": make_series("A:are", ys=(0.1, 0.2))},
+        )
+        sweep_b = SweepResult(
+            configuration={"label": "B"}, parameter="k", values=[1, 2],
+            series={"are": make_series("B:are", ys=(0.3, 0.4))},
+        )
+        report = ComparisonReport(parameter="k", values=[1, 2], sweeps=[sweep_a, sweep_b])
+        figure = comparison_figure(report, "are")
+        assert len(figure.series) == 2
+        assert "are vs k" in figure.title

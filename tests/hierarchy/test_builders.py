@@ -1,0 +1,126 @@
+"""Tests for automatic hierarchy construction."""
+
+import pytest
+
+from repro.datasets import toy_rt_dataset
+from repro.exceptions import HierarchyError
+from repro.hierarchy import (
+    ROOT_LABEL,
+    build_categorical_hierarchy,
+    build_hierarchies_for_dataset,
+    build_item_hierarchy,
+    build_numeric_hierarchy,
+    format_interval,
+    interval_bounds,
+    parse_interval,
+)
+
+
+class TestIntervalHelpers:
+    def test_format_interval(self):
+        assert format_interval(20, 40) == "[20-40]"
+        assert format_interval(1.5, 2.25) == "[1.5-2.25]"
+
+    def test_parse_interval(self):
+        assert parse_interval("[20-40]") == (20.0, 40.0)
+        assert parse_interval(" [ 1.5 - 2.5 ] ") == (1.5, 2.5)
+        assert parse_interval("not-an-interval") is None
+        assert parse_interval("42") is None
+
+    def test_parse_interval_round_trip(self):
+        assert parse_interval(format_interval(17, 90)) == (17.0, 90.0)
+
+
+class TestCategoricalBuilder:
+    def test_all_values_become_leaves(self):
+        values = [f"v{i}" for i in range(10)]
+        hierarchy = build_categorical_hierarchy(values, fanout=3)
+        assert sorted(hierarchy.leaves()) == sorted(values)
+        assert hierarchy.root.label == ROOT_LABEL
+
+    def test_fanout_bounds_children(self):
+        hierarchy = build_categorical_hierarchy([f"v{i}" for i in range(27)], fanout=3)
+        for node in hierarchy.iter_nodes():
+            if not node.is_leaf:
+                assert len(node.children) <= 3
+
+    def test_small_domain_attaches_directly_to_root(self):
+        hierarchy = build_categorical_hierarchy(["a", "b"], fanout=3)
+        assert hierarchy.height == 1
+        assert hierarchy.parent("a") == ROOT_LABEL
+
+    def test_deduplicates_and_ignores_none(self):
+        hierarchy = build_categorical_hierarchy(["a", "a", None, "b"], fanout=2)
+        assert sorted(hierarchy.leaves()) == ["a", "b"]
+
+    def test_invalid_fanout_or_empty_domain(self):
+        with pytest.raises(HierarchyError):
+            build_categorical_hierarchy(["a"], fanout=1)
+        with pytest.raises(HierarchyError):
+            build_categorical_hierarchy([], fanout=2)
+
+    def test_generalization_reaches_root(self):
+        values = [f"v{i:02d}" for i in range(20)]
+        hierarchy = build_categorical_hierarchy(values, fanout=4)
+        assert hierarchy.generalize_to_level("v00", hierarchy.height) == ROOT_LABEL
+
+
+class TestNumericBuilder:
+    def test_leaves_are_values_and_internal_nodes_intervals(self):
+        hierarchy = build_numeric_hierarchy(range(0, 100, 5), fanout=4)
+        assert "0" in hierarchy
+        assert hierarchy.node("0").interval == (0.0, 0.0)
+        root_interval = hierarchy.node(ROOT_LABEL).interval
+        assert root_interval == (0.0, 95.0)
+
+    def test_internal_labels_parse_as_intervals(self):
+        hierarchy = build_numeric_hierarchy(range(32), fanout=4)
+        for node in hierarchy.iter_nodes():
+            if not node.is_leaf and not node.is_root:
+                assert parse_interval(node.label) is not None
+
+    def test_interval_nesting_is_consistent(self):
+        hierarchy = build_numeric_hierarchy(range(64), fanout=4)
+        for node in hierarchy.iter_nodes():
+            if node.parent is not None and node.parent.interval and node.interval:
+                low, high = node.interval
+                parent_low, parent_high = node.parent.interval
+                assert parent_low <= low <= high <= parent_high
+
+    def test_small_domain(self):
+        hierarchy = build_numeric_hierarchy([1, 2, 3], fanout=4)
+        assert hierarchy.height == 1
+        assert hierarchy.parent("2") == ROOT_LABEL
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(HierarchyError):
+            build_numeric_hierarchy([], fanout=3)
+
+
+class TestItemAndDatasetBuilders:
+    def test_item_hierarchy_is_categorical_over_items(self):
+        hierarchy = build_item_hierarchy(["milk", "beer", "bread"], fanout=2)
+        assert sorted(hierarchy.leaves()) == ["beer", "bread", "milk"]
+
+    def test_build_for_dataset_covers_quasi_identifiers(self):
+        dataset = toy_rt_dataset()
+        hierarchies = build_hierarchies_for_dataset(dataset, fanout=3)
+        assert set(hierarchies) == {"Age", "Education", "Items"}
+        assert sorted(hierarchies["Items"].leaves()) == sorted(dataset.item_universe())
+        assert hierarchies["Age"].node(ROOT_LABEL).interval is not None
+
+    def test_build_for_dataset_attribute_selection(self):
+        dataset = toy_rt_dataset()
+        hierarchies = build_hierarchies_for_dataset(dataset, attributes=["Age"])
+        assert list(hierarchies) == ["Age"]
+
+
+class TestIntervalBounds:
+    def test_bounds_from_hierarchy_node(self):
+        hierarchy = build_numeric_hierarchy(range(16), fanout=4)
+        assert interval_bounds(hierarchy, ROOT_LABEL) == (0.0, 15.0)
+
+    def test_bounds_from_label(self):
+        assert interval_bounds(None, "[5-9]") == (5.0, 9.0)
+        assert interval_bounds(None, "7") == (7.0, 7.0)
+        assert interval_bounds(None, "Doctorate") is None

@@ -1,0 +1,135 @@
+"""Tests for the generalization hierarchy data structure."""
+
+import pytest
+
+from repro.exceptions import HierarchyError
+from repro.hierarchy import Hierarchy, HierarchyBuilder
+
+
+@pytest.fixture
+def education() -> Hierarchy:
+    r"""A small hand-built hierarchy:
+
+    ::
+
+            *
+           / \
+      Lower   Higher
+       /  \     /  \
+    Prim  Sec  BSc  MSc
+    """
+    builder = HierarchyBuilder("*", attribute="Education")
+    builder.add("Lower", "*")
+    builder.add("Higher", "*")
+    builder.add("Primary", "Lower")
+    builder.add("Secondary", "Lower")
+    builder.add("BSc", "Higher")
+    builder.add("MSc", "Higher")
+    return builder.build()
+
+
+class TestStructure:
+    def test_height_and_levels(self, education):
+        assert education.height == 2
+        assert education.level("Primary") == 0
+        assert education.level("Lower") == 1
+        assert education.level("*") == 2
+
+    def test_leaves(self, education):
+        assert sorted(education.leaves()) == ["BSc", "MSc", "Primary", "Secondary"]
+        assert sorted(education.leaves("Lower")) == ["Primary", "Secondary"]
+        assert education.leaf_count() == 4
+        assert education.leaf_count("Higher") == 2
+        assert education.leaf_count("MSc") == 1
+
+    def test_parent_children(self, education):
+        assert education.parent("Primary") == "Lower"
+        assert education.parent("*") is None
+        assert sorted(education.children("Higher")) == ["BSc", "MSc"]
+
+    def test_ancestors(self, education):
+        assert education.ancestors("Primary") == ["Lower", "*"]
+        assert education.ancestors("Primary", include_self=True) == [
+            "Primary",
+            "Lower",
+            "*",
+        ]
+
+    def test_unknown_label_raises(self, education):
+        with pytest.raises(HierarchyError):
+            education.node("Unknown")
+
+    def test_contains_and_len(self, education):
+        assert "Primary" in education
+        assert "Unknown" not in education
+        assert len(education) == 7
+
+
+class TestGeneralization:
+    def test_generalize_steps(self, education):
+        assert education.generalize("Primary", 0) == "Primary"
+        assert education.generalize("Primary", 1) == "Lower"
+        assert education.generalize("Primary", 2) == "*"
+        assert education.generalize("Primary", 99) == "*"
+
+    def test_generalize_to_level(self, education):
+        assert education.generalize_to_level("BSc", 0) == "BSc"
+        assert education.generalize_to_level("BSc", 1) == "Higher"
+        assert education.generalize_to_level("BSc", 2) == "*"
+        with pytest.raises(HierarchyError):
+            education.generalize_to_level("BSc", -1)
+
+    def test_lowest_common_ancestor(self, education):
+        assert education.lowest_common_ancestor(["Primary", "Secondary"]) == "Lower"
+        assert education.lowest_common_ancestor(["Primary", "BSc"]) == "*"
+        assert education.lowest_common_ancestor(["MSc"]) == "MSc"
+        with pytest.raises(HierarchyError):
+            education.lowest_common_ancestor([])
+
+    def test_is_ancestor_and_covers(self, education):
+        assert education.is_ancestor("Lower", "Primary")
+        assert education.is_ancestor("*", "MSc")
+        assert education.is_ancestor("MSc", "MSc")
+        assert not education.is_ancestor("Lower", "BSc")
+        assert education.covers("Higher", "BSc")
+
+
+class TestBuilder:
+    def test_duplicate_label_rejected(self):
+        builder = HierarchyBuilder("*")
+        builder.add("A", "*")
+        with pytest.raises(HierarchyError):
+            builder.add("A", "*")
+
+    def test_missing_parent_rejected(self):
+        builder = HierarchyBuilder("*")
+        with pytest.raises(HierarchyError):
+            builder.add("A", "Missing")
+
+    def test_add_path_reuses_prefixes(self):
+        builder = HierarchyBuilder("*")
+        builder.add_path(["Europe", "Greece", "Athens"])
+        builder.add_path(["Europe", "Greece", "Patras"])
+        hierarchy = builder.build()
+        assert hierarchy.parent("Patras") == "Greece"
+        assert hierarchy.leaf_count("Europe") == 2
+
+    def test_add_path_conflicting_parent_rejected(self):
+        builder = HierarchyBuilder("*")
+        builder.add_path(["Europe", "Greece"])
+        with pytest.raises(HierarchyError):
+            builder.add_path(["Asia", "Greece"])
+
+    def test_set_interval(self):
+        builder = HierarchyBuilder("*")
+        builder.add("[0-10]", "*")
+        builder.set_interval("[0-10]", 0, 10)
+        hierarchy = builder.build()
+        assert hierarchy.node("[0-10]").interval == (0.0, 10.0)
+        with pytest.raises(HierarchyError):
+            builder.set_interval("missing", 0, 1)
+
+    def test_to_mapping_rows_round_trips_structure(self, education):
+        rows = education.to_mapping_rows()
+        assert ["Primary", "Lower", "*"] in rows
+        assert len(rows) == 4

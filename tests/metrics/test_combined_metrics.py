@@ -1,0 +1,34 @@
+"""Tests for combined RT utility metrics."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.metrics import rt_utility
+
+
+class TestRtUtility:
+    def test_identity_has_zero_utility_loss(self, toy_dataset):
+        utility = rt_utility(toy_dataset, toy_dataset)
+        assert utility.relational_gcp == pytest.approx(0.0)
+        assert utility.transaction_ul == pytest.approx(0.0)
+        assert utility.combined == pytest.approx(0.0)
+
+    def test_weight_validation(self, toy_dataset):
+        with pytest.raises(DatasetError):
+            rt_utility(toy_dataset, toy_dataset, weight=1.5)
+
+    def test_combined_is_convex_combination(self, toy_dataset):
+        anonymized = toy_dataset.copy()
+        for index in range(len(anonymized)):
+            anonymized.set_value(index, "Age", "[25-58]")
+            anonymized.set_value(index, "Items", [])
+        low_weight = rt_utility(toy_dataset, anonymized, weight=0.0)
+        high_weight = rt_utility(toy_dataset, anonymized, weight=1.0)
+        assert low_weight.combined == pytest.approx(low_weight.transaction_ul)
+        assert high_weight.combined == pytest.approx(high_weight.relational_gcp)
+
+    def test_as_dict_round_trip(self, toy_dataset):
+        utility = rt_utility(toy_dataset, toy_dataset, weight=0.3)
+        data = utility.as_dict()
+        assert set(data) == {"relational_gcp", "transaction_ul", "combined", "weight"}
+        assert data["weight"] == 0.3

@@ -1,0 +1,71 @@
+"""Tests for generalized-value interpretation."""
+
+from repro.hierarchy import build_categorical_hierarchy, build_numeric_hierarchy
+from repro.metrics import (
+    SUPPRESSED,
+    covers_value,
+    generalization_size,
+    is_item_group,
+    item_group_members,
+    label_leaves,
+    label_span,
+)
+
+
+class TestItemGroups:
+    def test_detection(self):
+        assert is_item_group("(a,b)")
+        assert not is_item_group("a")
+        assert not is_item_group("[1-2]")
+        assert not is_item_group("()")
+
+    def test_members(self):
+        assert item_group_members("(a,b,c)") == frozenset({"a", "b", "c"})
+
+
+class TestLabelLeaves:
+    def test_plain_value_is_itself(self):
+        assert label_leaves("Bachelors") == frozenset({"Bachelors"})
+
+    def test_item_group(self):
+        assert label_leaves("(a,b)") == frozenset({"a", "b"})
+
+    def test_hierarchy_node(self):
+        hierarchy = build_categorical_hierarchy([f"v{i}" for i in range(9)], fanout=3)
+        root_leaves = label_leaves("*", hierarchy)
+        assert len(root_leaves) == 9
+
+    def test_star_with_universe(self):
+        assert label_leaves("*", universe={"a", "b"}) == frozenset({"a", "b"})
+
+    def test_star_without_context_is_empty(self):
+        assert label_leaves("*") == frozenset()
+
+    def test_suppressed_is_empty(self):
+        assert label_leaves(SUPPRESSED) == frozenset()
+
+
+class TestLabelSpanAndCovers:
+    def test_span_of_interval_label(self):
+        assert label_span("[10-20]") == (10.0, 20.0)
+
+    def test_span_of_number(self):
+        assert label_span("42") == (42.0, 42.0)
+
+    def test_span_of_categorical_is_none(self):
+        assert label_span("Bachelors") is None
+        assert label_span(SUPPRESSED) is None
+
+    def test_span_from_hierarchy_root(self):
+        hierarchy = build_numeric_hierarchy(range(10), fanout=3)
+        assert label_span("*", hierarchy) == (0.0, 9.0)
+
+    def test_covers_value(self):
+        assert covers_value("(a,b)", "a")
+        assert not covers_value("(a,b)", "c")
+        assert covers_value("x", "x")
+
+    def test_generalization_size_is_at_least_one(self):
+        assert generalization_size("(a,b,c)") == 3
+        assert generalization_size("plain") == 1
+        assert generalization_size(SUPPRESSED) == 1

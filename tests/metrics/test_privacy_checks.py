@@ -1,0 +1,131 @@
+"""Tests for privacy-guarantee verification."""
+
+import pytest
+
+from repro.datasets import Attribute, Dataset, Schema
+from repro.exceptions import DatasetError
+from repro.metrics import (
+    candidate_support,
+    equivalence_classes,
+    is_k_anonymous,
+    is_k_km_anonymous,
+    is_km_anonymous,
+    km_violations,
+    min_class_size,
+    privacy_report,
+)
+
+
+class TestKAnonymity:
+    def test_equivalence_classes_use_quasi_identifiers_only(self, simple_relational):
+        classes = equivalence_classes(simple_relational)
+        assert len(classes) == 8  # every (Age, Zip) pair is unique
+
+    def test_min_class_size_and_k_anonymity(self, simple_relational):
+        assert min_class_size(simple_relational) == 1
+        assert is_k_anonymous(simple_relational, 1)
+        assert not is_k_anonymous(simple_relational, 2)
+
+    def test_k_anonymous_after_grouping(self, simple_relational):
+        anonymized = simple_relational.copy()
+        for index in range(len(anonymized)):
+            age = anonymized[index]["Age"]
+            anonymized.set_value(index, "Age", "[21-24]" if age < 50 else "[51-54]")
+            anonymized.set_value(index, "Zip", "*")
+        assert is_k_anonymous(anonymized, 4)
+        assert not is_k_anonymous(anonymized, 5)
+
+    def test_empty_dataset_is_trivially_anonymous(self):
+        dataset = Dataset(Schema([Attribute.numeric("Age")]))
+        assert is_k_anonymous(dataset, 10)
+
+    def test_invalid_k_rejected(self, simple_relational):
+        with pytest.raises(DatasetError):
+            is_k_anonymous(simple_relational, 0)
+
+
+class TestKmAnonymity:
+    def test_candidate_support_counts_possible_matches(self, simple_transactions):
+        assert candidate_support(simple_transactions, ["a", "b"]) == 3
+        assert candidate_support(simple_transactions, ["missing"]) == 0
+
+    def test_candidate_support_sees_through_generalization(self, simple_transactions):
+        generalized = simple_transactions.copy()
+        for index, record in enumerate(simple_transactions):
+            items = [
+                "(a,b)" if item in {"a", "b"} else item for item in record["Items"]
+            ]
+            generalized.set_value(index, "Items", items)
+        # Any record holding (a,b) could contain a.
+        assert candidate_support(generalized, ["a"]) >= candidate_support(
+            simple_transactions, ["a"]
+        )
+
+    def test_km_violations_found_in_original_data(self, simple_transactions):
+        violations = km_violations(simple_transactions, k=3, m=2)
+        assert violations  # e.g. {d, e} appears in only 2 records
+        assert all(0 < violation.support < 3 for violation in violations)
+
+    def test_km_anonymity_of_fully_generalized_data(self, simple_transactions):
+        generalized = simple_transactions.copy()
+        universe = sorted(simple_transactions.item_universe())
+        label = "(" + ",".join(universe) + ")"
+        for index, record in enumerate(simple_transactions):
+            generalized.set_value(index, "Items", [label] if record["Items"] else [])
+        assert is_km_anonymous(
+            generalized, k=10, m=2, universe=simple_transactions.item_universe()
+        )
+
+    def test_km_check_respects_max_violations(self, simple_transactions):
+        limited = km_violations(simple_transactions, k=5, m=2, max_violations=2)
+        assert len(limited) == 2
+
+    def test_invalid_parameters(self, simple_transactions):
+        with pytest.raises(DatasetError):
+            km_violations(simple_transactions, k=0, m=1)
+        with pytest.raises(DatasetError):
+            km_violations(simple_transactions, k=2, m=0)
+
+
+class TestKKmAnonymity:
+    def make_rt(self, rows):
+        schema = Schema(
+            [Attribute.categorical("City"), Attribute.transaction("Items")]
+        )
+        return Dataset(schema, rows)
+
+    def test_satisfied_case(self):
+        dataset = self.make_rt(
+            [
+                {"City": "Athens", "Items": ["a"]},
+                {"City": "Athens", "Items": ["a"]},
+                {"City": "Patras", "Items": ["b"]},
+                {"City": "Patras", "Items": ["b"]},
+            ]
+        )
+        assert is_k_km_anonymous(dataset, k=2, m=1)
+
+    def test_violated_by_relational_part(self):
+        dataset = self.make_rt(
+            [
+                {"City": "Athens", "Items": ["a"]},
+                {"City": "Patras", "Items": ["a"]},
+            ]
+        )
+        assert not is_k_km_anonymous(dataset, k=2, m=1)
+
+    def test_violated_by_transaction_part_within_class(self):
+        dataset = self.make_rt(
+            [
+                {"City": "Athens", "Items": ["a"]},
+                {"City": "Athens", "Items": ["b"]},
+            ]
+        )
+        # The class is k-anonymous (size 2) but knowing item "a" isolates one record.
+        assert not is_k_km_anonymous(dataset, k=2, m=1)
+
+    def test_privacy_report_fields(self, toy_dataset):
+        report = privacy_report(toy_dataset, k=2, m=1)
+        assert report["records"] == len(toy_dataset)
+        assert "k_anonymous" in report
+        assert "km_anonymous" in report

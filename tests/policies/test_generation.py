@@ -1,0 +1,96 @@
+"""Tests for automatic policy generation."""
+
+import pytest
+
+from repro.datasets import generate_market_basket, value_frequencies
+from repro.exceptions import PolicyError
+from repro.hierarchy import build_item_hierarchy
+from repro.policies import (
+    generate_policies,
+    generate_privacy_policy,
+    generate_utility_policy,
+    policy_summary,
+)
+
+
+@pytest.fixture
+def baskets():
+    return generate_market_basket(n_records=300, n_items=20, seed=4)
+
+
+class TestPrivacyGeneration:
+    def test_items_strategy_covers_every_item(self, baskets):
+        policy = generate_privacy_policy(baskets, k=5, strategy="items")
+        assert len(policy) == len(baskets.item_universe())
+        assert policy.k == 5
+
+    def test_rare_strategy_picks_low_support_items(self, baskets):
+        policy = generate_privacy_policy(baskets, k=5, strategy="rare", rare_percentile=25)
+        supports = value_frequencies(baskets, "Items")
+        protected = policy.protected_items
+        assert protected
+        max_protected = max(supports[item] for item in protected)
+        median_support = sorted(supports.values())[len(supports) // 2]
+        assert max_protected <= median_support
+
+    def test_itemsets_strategy_draws_from_records(self, baskets):
+        policy = generate_privacy_policy(
+            baskets, k=3, strategy="itemsets", constraint_size=2, n_constraints=10, seed=1
+        )
+        assert 1 <= len(policy) <= 10
+        for constraint in policy:
+            assert 1 <= len(constraint) <= 2
+            # Constraints come from real records, so they have support.
+            assert policy.constraint_support(baskets, constraint) > 0
+
+    def test_itemsets_strategy_is_deterministic(self, baskets):
+        a = generate_privacy_policy(baskets, k=3, strategy="itemsets", seed=7)
+        b = generate_privacy_policy(baskets, k=3, strategy="itemsets", seed=7)
+        assert [c.items for c in a] == [c.items for c in b]
+
+    def test_unknown_strategy_rejected(self, baskets):
+        with pytest.raises(PolicyError):
+            generate_privacy_policy(baskets, k=3, strategy="bogus")
+
+
+class TestUtilityGeneration:
+    def test_frequency_strategy_partitions_universe(self, baskets):
+        policy = generate_utility_policy(baskets, strategy="frequency", group_size=4)
+        assert policy.covered_items == baskets.item_universe()
+        for constraint in policy:
+            assert len(constraint) <= 4
+
+    def test_singletons_strategy(self, baskets):
+        policy = generate_utility_policy(baskets, strategy="singletons")
+        assert all(len(constraint) == 1 for constraint in policy)
+
+    def test_hierarchy_strategy_groups_by_subtrees(self, baskets):
+        hierarchy = build_item_hierarchy(baskets.item_universe(), fanout=4)
+        policy = generate_utility_policy(
+            baskets, strategy="hierarchy", hierarchy=hierarchy, hierarchy_depth=1
+        )
+        assert policy.covered_items == baskets.item_universe()
+        assert len(policy) >= 2
+
+    def test_hierarchy_strategy_requires_hierarchy(self, baskets):
+        with pytest.raises(PolicyError):
+            generate_utility_policy(baskets, strategy="hierarchy")
+
+    def test_unknown_strategy_rejected(self, baskets):
+        with pytest.raises(PolicyError):
+            generate_utility_policy(baskets, strategy="bogus")
+
+
+class TestCombinedGeneration:
+    def test_generate_policies_pair(self, baskets):
+        privacy, utility = generate_policies(baskets, k=4, group_size=5)
+        assert privacy.k == 4
+        assert utility.covered_items == baskets.item_universe()
+
+    def test_policy_summary_fields(self, baskets):
+        privacy, utility = generate_policies(baskets, k=4)
+        summary = policy_summary(privacy, utility)
+        assert summary["k"] == 4
+        assert summary["privacy_constraints"] == len(privacy)
+        assert summary["utility_constraints"] == len(utility)
+        assert summary["covered_items"] == len(baskets.item_universe())

@@ -1,0 +1,64 @@
+"""Tests for privacy constraints and policies."""
+
+import pytest
+
+from repro.exceptions import PolicyError
+from repro.policies import PrivacyConstraint, PrivacyPolicy
+
+
+class TestPrivacyConstraint:
+    def test_items_are_normalised_to_strings(self):
+        constraint = PrivacyConstraint([1, "b"])
+        assert constraint.items == frozenset({"1", "b"})
+
+    def test_empty_constraint_rejected(self):
+        with pytest.raises(PolicyError):
+            PrivacyConstraint([])
+
+    def test_iteration_is_sorted(self):
+        assert list(PrivacyConstraint(["c", "a", "b"])) == ["a", "b", "c"]
+
+
+class TestPrivacyPolicy:
+    def test_requires_k_at_least_two(self):
+        with pytest.raises(PolicyError):
+            PrivacyPolicy([["a"]], k=1)
+
+    def test_deduplicates_constraints(self):
+        policy = PrivacyPolicy([["a", "b"], ["b", "a"], ["c"]], k=2)
+        assert len(policy) == 2
+
+    def test_protected_items_union(self):
+        policy = PrivacyPolicy([["a", "b"], ["c"]], k=2)
+        assert policy.protected_items == {"a", "b", "c"}
+        assert policy.max_constraint_size() == 2
+
+    def test_constraint_support_counts_supersets(self, simple_transactions):
+        policy = PrivacyPolicy([["a", "b"]], k=2)
+        constraint = policy.constraints[0]
+        assert policy.constraint_support(simple_transactions, constraint) == 3
+
+    def test_constraint_support_with_mapping_and_suppression(self, simple_transactions):
+        policy = PrivacyPolicy([["a", "b"]], k=2)
+        constraint = policy.constraints[0]
+        # Suppressing "a" makes the constraint unsupportable.
+        assert (
+            policy.constraint_support(
+                simple_transactions, constraint, item_mapping={"a": None}
+            )
+            == 0
+        )
+
+    def test_violations_and_satisfaction(self, simple_transactions):
+        # "e" appears in only 2 records; with k=3 a constraint on it is violated.
+        policy = PrivacyPolicy([["e"], ["a"]], k=3)
+        violations = policy.violations(simple_transactions)
+        assert len(violations) == 1
+        violated_constraint, support = violations[0]
+        assert violated_constraint.items == frozenset({"e"})
+        assert support == 2
+        assert not policy.is_satisfied_by(simple_transactions)
+
+    def test_zero_support_is_not_a_violation(self, simple_transactions):
+        policy = PrivacyPolicy([["missing-item"]], k=5)
+        assert policy.is_satisfied_by(simple_transactions)

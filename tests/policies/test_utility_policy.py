@@ -1,0 +1,60 @@
+"""Tests for utility constraints and policies."""
+
+import pytest
+
+from repro.exceptions import PolicyError
+from repro.policies import UtilityConstraint, UtilityPolicy, generalized_label
+
+
+class TestGeneralizedLabel:
+    def test_singleton_keeps_item_name(self):
+        assert generalized_label(["a"]) == "a"
+
+    def test_group_label_is_sorted_and_parenthesised(self):
+        assert generalized_label(["c", "a", "b"]) == "(a,b,c)"
+
+
+class TestUtilityConstraint:
+    def test_label(self):
+        assert UtilityConstraint(["b", "a"]).label == "(a,b)"
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            UtilityConstraint([])
+
+    def test_contains(self):
+        constraint = UtilityConstraint(["a", "b"])
+        assert "a" in constraint
+        assert "z" not in constraint
+
+
+class TestUtilityPolicy:
+    def test_overlapping_constraints_rejected(self):
+        with pytest.raises(PolicyError):
+            UtilityPolicy([["a", "b"], ["b", "c"]])
+
+    def test_constraint_for_and_covered_items(self):
+        policy = UtilityPolicy([["a", "b"], ["c"]])
+        assert policy.constraint_for("a").items == frozenset({"a", "b"})
+        assert policy.constraint_for("z") is None
+        assert policy.covered_items == {"a", "b", "c"}
+
+    def test_allowed_generalizations(self):
+        policy = UtilityPolicy([["a", "b"], ["c"]])
+        options = policy.allowed_generalizations("a")
+        assert options[0] == frozenset({"a"})
+        assert frozenset({"a", "b"}) in options
+        # Singleton constraints and uncovered items only allow themselves.
+        assert policy.allowed_generalizations("c") == [frozenset({"c"})]
+        assert policy.allowed_generalizations("z") == [frozenset({"z"})]
+
+    def test_permits(self):
+        policy = UtilityPolicy([["a", "b"], ["c", "d"]])
+        assert policy.permits(["a"])
+        assert policy.permits(["a", "b"])
+        assert not policy.permits(["a", "c"])
+        assert not policy.permits(["a", "z"])
+
+    def test_label_for_delegates(self):
+        policy = UtilityPolicy([["a", "b"]])
+        assert policy.label_for(["b", "a"]) == "(a,b)"

@@ -1,0 +1,80 @@
+"""Property-based tests for the dataset model and its CSV round trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import Attribute, Dataset, Schema, read_csv_text, write_csv_text
+
+# Restricted alphabets keep generated values CSV- and item-separator-safe,
+# matching what the loaders document (items must not contain the separator).
+category_values = st.text(alphabet="abcdefXYZ", min_size=1, max_size=8)
+item_values = st.text(alphabet="ijklmn0123", min_size=1, max_size=6)
+
+records = st.fixed_dictionaries(
+    {
+        "Age": st.integers(min_value=0, max_value=120),
+        "City": category_values,
+        "Items": st.sets(item_values, min_size=0, max_size=5),
+    }
+)
+
+
+def make_dataset(rows) -> Dataset:
+    schema = Schema(
+        [
+            Attribute.numeric("Age"),
+            Attribute.categorical("City"),
+            Attribute.transaction("Items"),
+        ]
+    )
+    return Dataset(schema, rows)
+
+
+class TestDatasetInvariants:
+    @given(rows=st.lists(records, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_group_by_partitions_all_records(self, rows):
+        dataset = make_dataset(rows)
+        groups = dataset.group_by(["Age", "City"])
+        indices = sorted(index for members in groups.values() for index in members)
+        assert indices == list(range(len(dataset)))
+
+    @given(rows=st.lists(records, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_to_rows_round_trip(self, rows):
+        dataset = make_dataset(rows)
+        rebuilt = Dataset.from_rows(dataset.schema, dataset.to_rows())
+        assert rebuilt == dataset
+
+    @given(rows=st.lists(records, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_copy_is_independent(self, rows):
+        dataset = make_dataset(rows)
+        clone = dataset.copy()
+        clone.set_value(0, "Age", 999)
+        assert dataset[0]["Age"] != 999 or rows[0]["Age"] == 999
+
+    @given(rows=st.lists(records, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_item_universe_is_union_of_itemsets(self, rows):
+        dataset = make_dataset(rows)
+        expected = set()
+        for row in rows:
+            expected.update(row["Items"])
+        assert dataset.item_universe() == expected
+
+
+class TestCsvRoundTripProperties:
+    @given(rows=st.lists(records, min_size=1, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_write_then_read_preserves_values(self, rows):
+        dataset = make_dataset(rows)
+        text = write_csv_text(dataset)
+        loaded = read_csv_text(
+            text, schema=dataset.schema, transaction_columns=["Items"]
+        )
+        assert len(loaded) == len(dataset)
+        for original, reloaded in zip(dataset, loaded):
+            assert reloaded["Age"] == original["Age"]
+            assert reloaded["City"] == original["City"]
+            assert reloaded["Items"] == original["Items"]

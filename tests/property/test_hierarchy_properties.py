@@ -1,0 +1,116 @@
+"""Property-based tests for hierarchies, lattices and interval labels."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy import (
+    GeneralizationLattice,
+    build_categorical_hierarchy,
+    build_numeric_hierarchy,
+    format_interval,
+    parse_interval,
+)
+
+value_names = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=6),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+numeric_domains = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=60, unique=True
+)
+fanouts = st.integers(min_value=2, max_value=5)
+
+
+class TestCategoricalHierarchyProperties:
+    @given(values=value_names, fanout=fanouts)
+    @settings(max_examples=50, deadline=None)
+    def test_values_are_exactly_the_leaves(self, values, fanout):
+        hierarchy = build_categorical_hierarchy(values, fanout=fanout)
+        assert sorted(hierarchy.leaves()) == sorted(values)
+
+    @given(values=value_names, fanout=fanouts)
+    @settings(max_examples=50, deadline=None)
+    def test_every_value_generalizes_to_the_root(self, values, fanout):
+        hierarchy = build_categorical_hierarchy(values, fanout=fanout)
+        for value in values:
+            assert hierarchy.generalize_to_level(value, hierarchy.height) == "*"
+
+    @given(values=value_names, fanout=fanouts)
+    @settings(max_examples=50, deadline=None)
+    def test_generalization_widens_monotonically(self, values, fanout):
+        hierarchy = build_categorical_hierarchy(values, fanout=fanout)
+        value = sorted(values)[0]
+        previous = 0
+        for level in range(hierarchy.height + 1):
+            label = hierarchy.generalize_to_level(value, level)
+            width = hierarchy.leaf_count(label)
+            assert width >= previous
+            previous = width
+
+    @given(values=value_names, fanout=fanouts)
+    @settings(max_examples=50, deadline=None)
+    def test_lca_is_a_common_ancestor(self, values, fanout):
+        hierarchy = build_categorical_hierarchy(values, fanout=fanout)
+        ordered = sorted(values)
+        first, last = ordered[0], ordered[-1]
+        ancestor = hierarchy.lowest_common_ancestor([first, last])
+        assert hierarchy.is_ancestor(ancestor, first)
+        assert hierarchy.is_ancestor(ancestor, last)
+
+
+class TestNumericHierarchyProperties:
+    @given(values=numeric_domains, fanout=fanouts)
+    @settings(max_examples=50, deadline=None)
+    def test_root_interval_spans_the_domain(self, values, fanout):
+        hierarchy = build_numeric_hierarchy(values, fanout=fanout)
+        low, high = hierarchy.node(hierarchy.root.label).interval
+        assert low == float(min(values))
+        assert high == float(max(values))
+
+    @given(values=numeric_domains, fanout=fanouts)
+    @settings(max_examples=50, deadline=None)
+    def test_child_intervals_are_nested_in_parents(self, values, fanout):
+        hierarchy = build_numeric_hierarchy(values, fanout=fanout)
+        for node in hierarchy.iter_nodes():
+            if node.parent is None or node.interval is None or node.parent.interval is None:
+                continue
+            assert node.parent.interval[0] <= node.interval[0]
+            assert node.interval[1] <= node.parent.interval[1]
+
+
+class TestIntervalLabelProperties:
+    @given(
+        low=st.integers(min_value=-10_000, max_value=10_000),
+        span=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_format_parse_round_trip(self, low, span):
+        label = format_interval(low, low + span)
+        assert parse_interval(label) == (float(low), float(low + span))
+
+
+class TestLatticeProperties:
+    @given(values=numeric_domains, categories=value_names, fanout=fanouts)
+    @settings(max_examples=25, deadline=None)
+    def test_lattice_size_matches_enumeration(self, values, categories, fanout):
+        hierarchies = {
+            "N": build_numeric_hierarchy(values, fanout=fanout),
+            "C": build_categorical_hierarchy(categories, fanout=fanout),
+        }
+        lattice = GeneralizationLattice(hierarchies, ["N", "C"])
+        assert lattice.size() == len(list(lattice.iter_nodes()))
+
+    @given(values=numeric_domains, categories=value_names, fanout=fanouts)
+    @settings(max_examples=25, deadline=None)
+    def test_successors_differ_in_exactly_one_level(self, values, categories, fanout):
+        hierarchies = {
+            "N": build_numeric_hierarchy(values, fanout=fanout),
+            "C": build_categorical_hierarchy(categories, fanout=fanout),
+        }
+        lattice = GeneralizationLattice(hierarchies, ["N", "C"])
+        for successor in lattice.successors(lattice.bottom):
+            differences = sum(
+                1 for a, b in zip(successor, lattice.bottom) if a != b
+            )
+            assert differences == 1

@@ -1,0 +1,134 @@
+"""Tests for COUNT queries and their probabilistic estimation."""
+
+import pytest
+
+from repro.datasets import Attribute, Dataset, Schema, toy_rt_dataset
+from repro.exceptions import QueryError
+from repro.hierarchy import build_hierarchies_for_dataset
+from repro.queries import Query, RangeCondition, ValueCondition, condition_from_dict
+
+
+@pytest.fixture
+def dataset():
+    return toy_rt_dataset()
+
+
+class TestConditions:
+    def test_range_condition_exact_values(self):
+        condition = RangeCondition(20, 30)
+        assert condition.match_probability(25) == 1.0
+        assert condition.match_probability(31) == 0.0
+        assert condition.match_probability(None) == 0.0
+
+    def test_range_condition_interval_overlap(self):
+        condition = RangeCondition(20, 30)
+        assert condition.match_probability("[20-40]") == pytest.approx(0.5)
+        assert condition.match_probability("[40-60]") == 0.0
+        assert condition.match_probability("[25-25]") == 1.0
+
+    def test_range_condition_rejects_empty_range(self):
+        with pytest.raises(QueryError):
+            RangeCondition(5, 1)
+
+    def test_value_condition_exact(self):
+        condition = ValueCondition(["Bachelors"])
+        assert condition.match_probability("Bachelors") == 1.0
+        assert condition.match_probability("Masters") == 0.0
+
+    def test_value_condition_generalized_label(self):
+        condition = ValueCondition(["Bachelors"])
+        # Explicit group covering 2 values, one of which matches.
+        assert condition.match_probability("(Bachelors,Masters)") == pytest.approx(0.5)
+
+    def test_value_condition_requires_values(self):
+        with pytest.raises(QueryError):
+            ValueCondition([])
+
+    def test_condition_round_trip(self):
+        range_condition = RangeCondition(1, 2)
+        assert condition_from_dict(range_condition.to_dict()) == range_condition
+        value_condition = ValueCondition(["a", "b"])
+        assert condition_from_dict(value_condition.to_dict()) == value_condition
+        with pytest.raises(QueryError):
+            condition_from_dict({"type": "bogus"})
+
+
+class TestQueryCount:
+    def test_requires_some_predicate(self):
+        with pytest.raises(QueryError):
+            Query()
+
+    def test_relational_count(self, dataset):
+        query = Query(conditions={"Age": RangeCondition(20, 40)})
+        assert query.count(dataset) == 4
+
+    def test_item_count(self, dataset):
+        query = Query(items=["bread", "milk"])
+        assert query.count(dataset) == 2
+
+    def test_combined_count(self, dataset):
+        query = Query(
+            conditions={"Education": ValueCondition(["HS-grad"])}, items=["wine"]
+        )
+        assert query.count(dataset) == 1
+
+    def test_item_query_on_relational_dataset_raises(self, dataset):
+        relational = dataset.project(["Age", "Education"])
+        query = Query(items=["bread"])
+        with pytest.raises(QueryError):
+            query.count(relational)
+
+
+class TestQueryEstimate:
+    def test_estimate_equals_count_on_original_data(self, dataset):
+        hierarchies = build_hierarchies_for_dataset(dataset, fanout=3)
+        query = Query(
+            conditions={"Age": RangeCondition(20, 40), "Education": ValueCondition(["Masters"])},
+            items=["wine"],
+        )
+        assert query.estimate(dataset, hierarchies) == pytest.approx(query.count(dataset))
+
+    def test_estimate_with_generalized_relational_values(self):
+        schema = Schema([Attribute.categorical("Age"), Attribute.categorical("Education")])
+        anonymized = Dataset(
+            schema,
+            [
+                {"Age": "[20-29]", "Education": "Bachelors"},
+                {"Age": "[30-39]", "Education": "Masters"},
+            ],
+        )
+        query = Query(conditions={"Age": RangeCondition(20, 24.5)})
+        # Uniformity: the record generalized to [20-29] matches with p=0.5.
+        assert query.estimate(anonymized) == pytest.approx(0.5)
+
+    def test_estimate_with_generalized_items(self):
+        schema = Schema([Attribute.transaction("Items")])
+        anonymized = Dataset(schema, [{"Items": ["(bread,milk)"]}, {"Items": ["beer"]}])
+        query = Query(items=["bread"])
+        assert query.estimate(anonymized) == pytest.approx(0.5)
+
+    def test_estimate_zero_for_suppressed_items(self):
+        schema = Schema([Attribute.transaction("Items")])
+        anonymized = Dataset(schema, [{"Items": []}])
+        query = Query(items=["bread"])
+        assert query.estimate(anonymized) == 0.0
+
+    def test_describe_mentions_all_predicates(self, dataset):
+        query = Query(
+            conditions={"Age": RangeCondition(20, 30), "Education": ValueCondition(["X"])},
+            items=["beer"],
+        )
+        description = query.describe()
+        assert "Age" in description
+        assert "Education" in description
+        assert "beer" in description
+
+    def test_query_dict_round_trip(self, dataset):
+        query = Query(
+            conditions={"Age": RangeCondition(20, 30)},
+            items=["beer"],
+            transaction_attribute="Items",
+        )
+        rebuilt = Query.from_dict(query.to_dict())
+        assert rebuilt.count(dataset) == query.count(dataset)
+        assert rebuilt.items == query.items
