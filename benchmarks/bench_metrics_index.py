@@ -1,0 +1,176 @@
+"""Micro-benchmark: interpretation-index speedup of the transaction metrics.
+
+Measures ``utility_loss`` + ``average_item_frequency_error`` on a generated
+10k-record market-basket dataset, comparing the index-backed implementations
+(:mod:`repro.metrics.transaction` on :mod:`repro.index`) against faithful
+re-implementations of the pre-index hot paths, which re-derived every label's
+leaf set per record per label.  The PR's acceptance bar is a >= 5x speedup.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_metrics_index.py
+
+or through pytest (the file is outside the default ``test_*`` collection, so
+it only runs when addressed explicitly)::
+
+    python -m pytest benchmarks/bench_metrics_index.py -m slow -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets import Dataset, generate_market_basket
+from repro.datasets.statistics import value_frequencies
+from repro.metrics import average_item_frequency_error, utility_loss
+from repro.metrics.interpretation import label_leaves
+
+N_RECORDS = 10_000
+N_ITEMS = 80
+GROUP_SIZE = 4
+REQUIRED_SPEEDUP = 5.0
+
+
+def anonymize_by_groups(dataset: Dataset, group_size: int) -> Dataset:
+    """Publish every item as its fixed group of ``group_size`` items.
+
+    This mimics a COAT/PCTA-style output: explicit item-group labels, no
+    hierarchy, with a sprinkle of suppression (the last group) to exercise the
+    not-covered path.
+    """
+    items = sorted(dataset.item_universe("Items"))
+    groups = [items[n : n + group_size] for n in range(0, len(items), group_size)]
+    mapping: dict[str, str | None] = {}
+    for position, group in enumerate(groups):
+        label = "(" + ",".join(group) + ")" if len(group) > 1 else group[0]
+        for item in group:
+            mapping[item] = None if position == len(groups) - 1 else label
+    anonymized = dataset.copy(name=f"{dataset.name}[grouped]")
+    for index, record in enumerate(dataset):
+        labels = [
+            mapping[item] for item in record["Items"] if mapping[item] is not None
+        ]
+        anonymized.set_value(index, "Items", labels)
+    return anonymized
+
+
+# -- pre-index implementations (the seed hot paths, root-label fix applied) -----
+def baseline_item_cost(label: str, universe: set[str]) -> float:
+    if len(universe) <= 1:
+        return 0.0
+    size = len(label_leaves(str(label), None, universe=universe))
+    return max(0, size - 1) / (len(universe) - 1)
+
+
+def baseline_utility_loss(original: Dataset, anonymized: Dataset) -> float:
+    universe = original.item_universe("Items")
+    total_items = sum(len(record["Items"]) for record in original)
+    if total_items == 0:
+        return 0.0
+    loss = 0.0
+    for original_record, anonymized_record in zip(original, anonymized):
+        target_labels = anonymized_record["Items"]
+        covered: set[str] = set()
+        for label in target_labels:
+            covered |= label_leaves(str(label), None, universe=universe)
+        covered &= universe
+        for item in original_record["Items"]:
+            if item not in covered:
+                loss += 1.0
+                continue
+            best = 1.0
+            for label in target_labels:
+                leaves = label_leaves(str(label), None, universe=universe)
+                if item in leaves:
+                    best = min(best, baseline_item_cost(label, universe))
+            loss += best
+    return loss / total_items
+
+
+def baseline_average_item_frequency_error(
+    original: Dataset, anonymized: Dataset, floor: float = 1.0
+) -> float:
+    universe = original.item_universe("Items")
+    actual = value_frequencies(original, "Items")
+    estimates = {item: 0.0 for item in universe}
+    for record in anonymized:
+        for label in record["Items"]:
+            leaves = label_leaves(str(label), None, universe=universe) & set(universe)
+            if not leaves:
+                continue
+            weight = 1.0 / len(leaves)
+            for item in leaves:
+                estimates[item] += weight
+    errors = [
+        abs(estimates.get(item, 0.0) - actual.get(item, 0))
+        / max(actual.get(item, 0), floor)
+        for item in universe
+    ]
+    return sum(errors) / len(errors) if errors else 0.0
+
+
+def timed(function, *args) -> tuple[float, float]:
+    start = time.perf_counter()
+    result = function(*args)
+    return result, time.perf_counter() - start
+
+
+def run_benchmark() -> dict:
+    original = generate_market_basket(n_records=N_RECORDS, n_items=N_ITEMS, seed=2014)
+    anonymized = anonymize_by_groups(original, GROUP_SIZE)
+
+    baseline_ul, baseline_ul_seconds = timed(baseline_utility_loss, original, anonymized)
+    baseline_fe, baseline_fe_seconds = timed(
+        baseline_average_item_frequency_error, original, anonymized
+    )
+    indexed_ul, indexed_ul_seconds = timed(utility_loss, original, anonymized)
+    indexed_fe, indexed_fe_seconds = timed(
+        average_item_frequency_error, original, anonymized
+    )
+
+    baseline_seconds = baseline_ul_seconds + baseline_fe_seconds
+    indexed_seconds = indexed_ul_seconds + indexed_fe_seconds
+    return {
+        "n_records": N_RECORDS,
+        "n_items": N_ITEMS,
+        "utility_loss": {"baseline": baseline_ul, "indexed": indexed_ul},
+        "frequency_error": {"baseline": baseline_fe, "indexed": indexed_fe},
+        "baseline_seconds": baseline_seconds,
+        "indexed_seconds": indexed_seconds,
+        "speedup": baseline_seconds / indexed_seconds if indexed_seconds else float("inf"),
+    }
+
+
+@pytest.mark.slow
+def test_metrics_index_speedup(record):
+    payload = run_benchmark()
+    record("metrics_index_speedup", payload)
+    assert payload["utility_loss"]["indexed"] == pytest.approx(
+        payload["utility_loss"]["baseline"]
+    )
+    assert payload["frequency_error"]["indexed"] == pytest.approx(
+        payload["frequency_error"]["baseline"]
+    )
+    assert payload["speedup"] >= REQUIRED_SPEEDUP
+
+
+if __name__ == "__main__":
+    payload = run_benchmark()
+    print(f"dataset: {payload['n_records']} records, {payload['n_items']} items")
+    print(
+        "utility_loss:          baseline={baseline:.6f} indexed={indexed:.6f}".format(
+            **payload["utility_loss"]
+        )
+    )
+    print(
+        "avg frequency error:   baseline={baseline:.6f} indexed={indexed:.6f}".format(
+            **payload["frequency_error"]
+        )
+    )
+    print(
+        f"baseline {payload['baseline_seconds']:.3f}s, "
+        f"indexed {payload['indexed_seconds']:.3f}s, "
+        f"speedup {payload['speedup']:.1f}x (required: {REQUIRED_SPEEDUP:.0f}x)"
+    )

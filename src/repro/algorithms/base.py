@@ -107,6 +107,18 @@ class Anonymizer(abc.ABC):
         parameters = ", ".join(f"{k}={v!r}" for k, v in self.parameters().items())
         return f"{type(self).__name__}({parameters})"
 
+    @staticmethod
+    def _build_index(dataset: Dataset, attribute: str):
+        """Posting-list index the constraint-based transaction algorithms
+        (COAT, PCTA) run their support computations on.
+
+        A test hook: overriding it (e.g. with ``cached=False``) verifies that
+        union memoization never changes algorithm output.
+        """
+        from repro.index import InvertedIndex
+
+        return InvertedIndex.from_dataset(dataset, attribute)
+
 
 # -- shared helpers ----------------------------------------------------------------
 def relational_quasi_identifiers(dataset: Dataset) -> list[str]:

@@ -17,6 +17,7 @@ the generalized transactions.
 from __future__ import annotations
 
 import itertools
+import weakref
 from typing import Iterable, Sequence
 
 from repro.exceptions import AlgorithmError
@@ -24,7 +25,14 @@ from repro.hierarchy.hierarchy import Hierarchy
 
 
 class ItemCut:
-    """A full-subtree generalization cut over an item hierarchy."""
+    """A full-subtree generalization cut over an item hierarchy.
+
+    The cut carries a ``version`` counter that increments on every mutation;
+    consumers (the k^m-anonymity checker) key their per-cut caches on it.
+    Subtree leaf sets are memoized per node label (resolved from the
+    hierarchy itself — cut nodes are always hierarchy nodes, never item-group
+    labels), so repeated promotions never re-walk a subtree.
+    """
 
     def __init__(self, hierarchy: Hierarchy, items: Iterable[str]):
         self.hierarchy = hierarchy
@@ -36,6 +44,10 @@ class ItemCut:
             )
         #: original item -> current cut node label
         self.mapping: dict[str, str] = {item: item for item in self.items}
+        #: incremented on every mutation; cache key for derived structures
+        self.version = 0
+        #: node label -> its subtree's leaf set (shared across copies)
+        self._node_leaves: dict[str, frozenset[str]] = {}
 
     # -- queries -------------------------------------------------------------
     @property
@@ -66,10 +78,14 @@ class ItemCut:
         parent = self.hierarchy.parent(node)
         if parent is None:
             return node
-        parent_leaves = set(self.hierarchy.leaves(parent))
+        parent_leaves = self._node_leaves.get(parent)
+        if parent_leaves is None:
+            parent_leaves = frozenset(self.hierarchy.leaves(parent))
+            self._node_leaves[parent] = parent_leaves
         for item in self.items:
             if item in parent_leaves:
                 self.mapping[item] = parent
+        self.version += 1
         return parent
 
     def copy(self) -> "ItemCut":
@@ -77,6 +93,9 @@ class ItemCut:
         clone.hierarchy = self.hierarchy
         clone.items = list(self.items)
         clone.mapping = dict(self.mapping)
+        clone.version = self.version
+        # The leaf memo is pure (the hierarchy is immutable), so copies share it.
+        clone._node_leaves = self._node_leaves
         return clone
 
 
@@ -91,14 +110,33 @@ class KmAnonymityChecker:
         self.itemsets = list(itemsets)
         self.k = k
         self.m = m
+        #: single-slot cache of the generalized itemsets for the last cut seen
+        self._generalized_cut: "weakref.ref[ItemCut] | None" = None
+        self._generalized_version = -1
+        self._generalized: list[list[str]] = []
+
+    def _generalized_itemsets(self, cut: ItemCut) -> list[list[str]]:
+        """Every itemset mapped through the cut (cached per cut version).
+
+        The checker is asked for violations of sizes 1..m against the same
+        cut; generalizing the transactions once per cut version instead of
+        once per size removes the dominant posting-union loop.
+        """
+        cached = self._generalized_cut() if self._generalized_cut is not None else None
+        if cached is not cut or self._generalized_version != cut.version:
+            self._generalized = [
+                sorted(cut.generalize_itemset(itemset)) for itemset in self.itemsets
+            ]
+            self._generalized_cut = weakref.ref(cut)
+            self._generalized_version = cut.version
+        return self._generalized
 
     def combination_supports(
         self, cut: ItemCut, size: int
     ) -> dict[tuple[str, ...], int]:
         """Support of every node combination of exactly ``size`` that occurs."""
         supports: dict[tuple[str, ...], int] = {}
-        for itemset in self.itemsets:
-            generalized = sorted(cut.generalize_itemset(itemset))
+        for generalized in self._generalized_itemsets(cut):
             if len(generalized) < size:
                 continue
             for combination in itertools.combinations(generalized, size):

@@ -27,6 +27,7 @@ from repro.algorithms.base import (
 )
 from repro.datasets.dataset import Dataset
 from repro.exceptions import AlgorithmError, ConfigurationError
+from repro.index import InvertedIndex
 from repro.metrics.transaction import utility_loss
 from repro.policies.privacy import PrivacyConstraint, PrivacyPolicy
 from repro.policies.utility import UtilityPolicy
@@ -59,14 +60,6 @@ class Coat(Anonymizer):
         }
 
     # -- support bookkeeping ---------------------------------------------------
-    @staticmethod
-    def _posting_lists(dataset: Dataset, attribute: str) -> dict[str, set[int]]:
-        postings: dict[str, set[int]] = {}
-        for index, record in enumerate(dataset):
-            for item in record[attribute]:
-                postings.setdefault(item, set()).add(index)
-        return postings
-
     def _group_of(self, groups: dict[str, frozenset[str]], item: str) -> frozenset[str]:
         return groups.get(item, frozenset({item}))
 
@@ -75,21 +68,20 @@ class Coat(Anonymizer):
         constraint: PrivacyConstraint,
         groups: dict[str, frozenset[str]],
         suppressed: set[str],
-        postings: dict[str, set[int]],
+        index: InvertedIndex,
     ) -> int:
-        """Records that could contain every item of ``constraint``."""
-        covering: set[int] | None = None
+        """Records that could contain every item of ``constraint``.
+
+        Each constraint item is represented by its current utility group; the
+        per-group posting unions are memoized by the index, so re-checking the
+        same constraint across iterations costs set intersections only.
+        """
+        member_groups = []
         for item in constraint.items:
             if item in suppressed:
                 return 0
-            members = self._group_of(groups, item) - suppressed
-            records: set[int] = set()
-            for member in members:
-                records |= postings.get(member, set())
-            covering = records if covering is None else covering & records
-            if not covering:
-                return 0
-        return len(covering) if covering is not None else 0
+            member_groups.append(self._group_of(groups, item) - suppressed)
+        return index.joint_support(member_groups)
 
     # -- main --------------------------------------------------------------------
     def anonymize(self, dataset: Dataset) -> AnonymizationResult:
@@ -98,8 +90,8 @@ class Coat(Anonymizer):
         k = self.privacy_policy.k
 
         with timer.phase("initialisation"):
-            postings = self._posting_lists(dataset, attribute)
-            universe = set(postings)
+            index = self._build_index(dataset, attribute)
+            universe = set(index.universe)
             #: item -> the item group it currently publishes (singleton = intact)
             groups: dict[str, frozenset[str]] = {}
             suppressed: set[str] = set()
@@ -109,12 +101,12 @@ class Coat(Anonymizer):
         with timer.phase("constraint satisfaction"):
             ordered = sorted(
                 self.privacy_policy.constraints,
-                key=lambda c: self._constraint_support(c, groups, suppressed, postings),
+                key=lambda c: self._constraint_support(c, groups, suppressed, index),
             )
             for constraint in ordered:
                 while True:
                     support = self._constraint_support(
-                        constraint, groups, suppressed, postings
+                        constraint, groups, suppressed, index
                     )
                     if support == 0 or support >= k:
                         break
@@ -128,11 +120,8 @@ class Coat(Anonymizer):
                         utility_constraint = self.utility_policy.constraint_for(item)
                         if utility_constraint is None or len(utility_constraint) <= 1:
                             continue
-                        current = postings.get(item, set())
-                        widened: set[int] = set()
-                        for member in utility_constraint.items - suppressed:
-                            widened |= postings.get(member, set())
-                        gain = len(widened) - len(current)
+                        widened = index.union(utility_constraint.items - suppressed)
+                        gain = len(widened) - index.frequency(item)
                         if best_item is None or gain > best_gain:
                             best_item = item
                             best_gain = gain
@@ -147,7 +136,7 @@ class Coat(Anonymizer):
                     # the constraint, which drops the constraint's support to 0.
                     rarest = min(
                         (item for item in constraint.items if item not in suppressed),
-                        key=lambda item: len(postings.get(item, set())),
+                        key=index.frequency,
                         default=None,
                     )
                     if rarest is None:
@@ -173,7 +162,7 @@ class Coat(Anonymizer):
                 constraint
                 for constraint in self.privacy_policy
                 if 0
-                < self._constraint_support(constraint, groups, suppressed, postings)
+                < self._constraint_support(constraint, groups, suppressed, index)
                 < k
             ]
             if residual:

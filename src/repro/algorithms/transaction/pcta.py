@@ -20,6 +20,7 @@ from repro.algorithms.base import (
 )
 from repro.datasets.dataset import Dataset
 from repro.exceptions import AlgorithmError, ConfigurationError
+from repro.index import InvertedIndex
 from repro.metrics.transaction import utility_loss
 from repro.policies.privacy import PrivacyConstraint, PrivacyPolicy
 from repro.policies.utility import generalized_label
@@ -54,40 +55,27 @@ class Pcta(Anonymizer):
         }
 
     # -- support bookkeeping ----------------------------------------------------
-    @staticmethod
-    def _posting_lists(dataset: Dataset, attribute: str) -> dict[str, set[int]]:
-        postings: dict[str, set[int]] = {}
-        for index, record in enumerate(dataset):
-            for item in record[attribute]:
-                postings.setdefault(item, set()).add(index)
-        return postings
-
-    def _cluster_postings(
-        self, cluster: frozenset[str], postings: dict[str, set[int]]
-    ) -> set[int]:
-        records: set[int] = set()
-        for item in cluster:
-            records |= postings.get(item, set())
-        return records
-
     def _constraint_support(
         self,
         constraint: PrivacyConstraint,
         cluster_of: dict[str, int],
         clusters: dict[int, frozenset[str]],
-        postings: dict[str, set[int]],
+        index: InvertedIndex,
         suppressed: set[str],
     ) -> int:
-        covering: set[int] | None = None
+        """Records that could contain every item of ``constraint``.
+
+        Each constraint item is represented by its current cluster; the
+        per-cluster posting unions are memoized by the index, so rescoring the
+        constraint set each merge round costs set intersections only.
+        """
+        member_clusters = []
         for item in constraint.items:
             if item in suppressed:
                 return 0
             cluster = clusters.get(cluster_of.get(item, -1), frozenset({item}))
-            records = self._cluster_postings(cluster - suppressed, postings)
-            covering = records if covering is None else covering & records
-            if not covering:
-                return 0
-        return len(covering) if covering is not None else 0
+            member_clusters.append(cluster - suppressed)
+        return index.joint_support(member_clusters)
 
     # -- main ----------------------------------------------------------------------
     def anonymize(self, dataset: Dataset) -> AnonymizationResult:
@@ -96,21 +84,20 @@ class Pcta(Anonymizer):
         k = self.privacy_policy.k
 
         with timer.phase("initialisation"):
-            postings = self._posting_lists(dataset, attribute)
-            universe = sorted(postings)
+            index = self._build_index(dataset, attribute)
+            universe = sorted(index.universe)
             clusters: dict[int, frozenset[str]] = {
-                index: frozenset({item}) for index, item in enumerate(universe)
+                position: frozenset({item}) for position, item in enumerate(universe)
             }
-            cluster_of: dict[str, int] = {item: index for index, item in enumerate(universe)}
+            cluster_of: dict[str, int] = {item: position for position, item in enumerate(universe)}
             suppressed: set[str] = set()
-            frequency = {item: len(records) for item, records in postings.items()}
 
         merges = 0
         suppressed_items = 0
         with timer.phase("constraint satisfaction"):
             while True:
                 violated = [
-                    (self._constraint_support(c, cluster_of, clusters, postings, suppressed), c)
+                    (self._constraint_support(c, cluster_of, clusters, index, suppressed), c)
                     for c in self.privacy_policy
                 ]
                 violated = [(support, c) for support, c in violated if 0 < support < k]
@@ -123,24 +110,20 @@ class Pcta(Anonymizer):
                 # candidate cluster that maximises support gain per added item.
                 rarest = min(
                     (item for item in constraint.items if item not in suppressed),
-                    key=lambda item: frequency.get(item, 0),
+                    key=index.frequency,
                 )
                 source_id = cluster_of[rarest]
                 source = clusters[source_id]
                 candidates = sorted(
                     (identifier for identifier in clusters if identifier != source_id),
-                    key=lambda identifier: -len(
-                        self._cluster_postings(clusters[identifier], postings)
-                    ),
+                    key=lambda identifier: -len(index.union(clusters[identifier])),
                 )[: self.merge_candidates]
 
                 best_choice = None
                 best_score = None
-                source_records = self._cluster_postings(source - suppressed, postings)
+                source_records = index.union(source - suppressed)
                 for identifier in candidates:
-                    candidate_records = self._cluster_postings(
-                        clusters[identifier] - suppressed, postings
-                    )
+                    candidate_records = index.union(clusters[identifier] - suppressed)
                     gain = len(candidate_records | source_records) - len(source_records)
                     if gain <= 0:
                         continue
@@ -180,7 +163,7 @@ class Pcta(Anonymizer):
                 for constraint in self.privacy_policy
                 if 0
                 < self._constraint_support(
-                    constraint, cluster_of, clusters, postings, suppressed
+                    constraint, cluster_of, clusters, index, suppressed
                 )
                 < k
             ]

@@ -24,9 +24,11 @@ from repro.engine.results import (
     SweepResult,
     merge_series,
 )
-from repro.engine.runner import run_many
+from repro.engine.runner import EXECUTION_MODES, resolve_mode, run_many
 
 __all__ = [
+    "EXECUTION_MODES",
+    "resolve_mode",
     "AnonymizationModule",
     "MethodComparator",
     "MethodEvaluator",

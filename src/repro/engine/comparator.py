@@ -7,6 +7,10 @@ configuration is executed across the sweep and the results are collected into
 per-indicator series so they can be plotted side by side — "an interactive
 and progressive comparison of sets of algorithms, with respect to their
 utility and efficiency".
+
+Comparisons can fan out across CPU cores: pass ``mode="process"`` and every
+configuration's sweep runs in its own worker process.  The legacy
+``parallel=True`` flag keeps selecting the thread pool.
 """
 
 from __future__ import annotations
@@ -22,6 +26,15 @@ from repro.engine.runner import run_many
 from repro.exceptions import ConfigurationError
 
 
+def _run_configuration(task: tuple) -> SweepResult:
+    """Run one configuration across the sweep (module-level: picklable)."""
+    dataset, resources, verify_privacy, config, sweep = task
+    experiment = VaryingParameterExperiment(
+        dataset, resources, verify_privacy=verify_privacy
+    )
+    return experiment.run(config, sweep)
+
+
 class MethodComparator:
     """Execute and compare multiple configurations over a parameter sweep."""
 
@@ -32,12 +45,14 @@ class MethodComparator:
         verify_privacy: bool = False,
         parallel: bool = False,
         max_workers: int | None = None,
+        mode: str | None = None,
     ):
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
         self.verify_privacy = verify_privacy
         self.parallel = parallel
         self.max_workers = max_workers
+        self.mode = mode
 
     def compare(
         self,
@@ -49,17 +64,16 @@ class MethodComparator:
         if not configurations:
             raise ConfigurationError("the Comparison mode needs at least one configuration")
 
-        def run_one(config: AnonymizationConfig) -> SweepResult:
-            experiment = VaryingParameterExperiment(
-                self.dataset, self.resources, verify_privacy=self.verify_privacy
-            )
-            return experiment.run(config, sweep)
-
+        tasks = [
+            (self.dataset, self.resources, self.verify_privacy, config, sweep)
+            for config in configurations
+        ]
         sweeps = run_many(
-            configurations,
-            run_one,
+            tasks,
+            _run_configuration,
             parallel=self.parallel,
             max_workers=self.max_workers,
+            mode=self.mode,
         )
         return ComparisonReport(
             parameter=sweep.parameter, values=list(sweep.values), sweeps=list(sweeps)

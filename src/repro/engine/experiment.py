@@ -6,6 +6,11 @@ all parameters are fixed, and *varying parameter execution*, where the user
 fixed values for other parameters" and the system plots utility indicators
 and runtime against the varying parameter.  This module implements the sweep
 machinery used by both the Evaluation and the Comparison mode.
+
+Sweeps can fan out across CPU cores: pass ``mode="process"`` to
+:class:`VaryingParameterExperiment` and every sweep point is evaluated in its
+own worker process (the algorithms are CPU-bound pure Python, so threads
+cannot speed them up — see :mod:`repro.engine.runner`).
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.engine.config import SWEEPABLE_PARAMETERS, AnonymizationConfig
 from repro.engine.evaluator import MethodEvaluator
 from repro.engine.resources import ExperimentResources
 from repro.engine.results import EvaluationReport, Series, SweepResult
+from repro.engine.runner import run_many
 from repro.exceptions import ConfigurationError
 
 #: Indicators extracted from every evaluation report into sweep series.
@@ -98,27 +104,54 @@ def indicator_series(
     return series
 
 
+def _evaluate_sweep_point(task: tuple) -> EvaluationReport:
+    """Evaluate one (configuration, parameter, value) sweep point.
+
+    Module-level so process-mode execution can pickle it; the dataset and
+    resources travel inside the task tuple.
+    """
+    dataset, resources, verify_privacy, config, parameter, value = task
+    evaluator = MethodEvaluator(dataset, resources, verify_privacy=verify_privacy)
+    return evaluator.evaluate(config.with_parameter(parameter, value))
+
+
 class VaryingParameterExperiment:
-    """Run one configuration across a parameter sweep and collect series."""
+    """Run one configuration across a parameter sweep and collect series.
+
+    ``mode`` selects how sweep points execute: ``"sequential"`` (default),
+    ``"thread"``, or ``"process"`` to fan the CPU-bound anonymization runs out
+    across cores.  ``max_workers`` caps the pool size.
+    """
 
     def __init__(
         self,
         dataset: Dataset,
         resources: ExperimentResources | None = None,
         verify_privacy: bool = False,
+        mode: str = "sequential",
+        max_workers: int | None = None,
     ):
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
         self.verify_privacy = verify_privacy
+        self.mode = mode
+        self.max_workers = max_workers
 
     def run(self, config: AnonymizationConfig, sweep: ParameterSweep) -> SweepResult:
-        evaluator = MethodEvaluator(
-            self.dataset, self.resources, verify_privacy=self.verify_privacy
+        tasks = [
+            (
+                self.dataset,
+                self.resources,
+                self.verify_privacy,
+                config,
+                sweep.parameter,
+                value,
+            )
+            for value in sweep.values
+        ]
+        reports = run_many(
+            tasks, _evaluate_sweep_point, mode=self.mode, max_workers=self.max_workers
         )
-        reports: list[EvaluationReport] = []
-        for value in sweep.values:
-            derived = config.with_parameter(sweep.parameter, value)
-            reports.append(evaluator.evaluate(derived))
         series = indicator_series(
             reports, list(sweep.values), sweep.parameter, config.display_label
         )

@@ -1,20 +1,45 @@
-"""Execution of multiple anonymization requests, sequentially or in parallel.
+"""Execution of multiple anonymization requests: sequential, threads or processes.
 
 SECRETA's backend "invokes one or more instances (threads) of the
 Anonymization Module" and collects their results.  The pure-Python equivalent
-uses a thread pool; because the algorithms are CPU-bound Python code the
-parallel mode mostly helps when the per-run work releases the GIL (NumPy) or
-when results are produced incrementally, so sequential execution remains the
-default.
+offers three execution modes:
+
+* ``"sequential"`` — the default: one task after another in this process,
+* ``"thread"`` — a thread pool; because the algorithms are CPU-bound Python
+  code this mostly helps when the per-task work releases the GIL (NumPy) or
+  produces results incrementally,
+* ``"process"`` — a process pool that actually fans CPU-bound anonymization
+  out across cores.  The worker callable and every task/result must be
+  picklable (module-level functions, not closures or lambdas).
+
+The legacy ``parallel=True`` flag remains an alias for thread mode.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Literal, Sequence, TypeVar
+
+from repro.exceptions import ConfigurationError
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
+
+ExecutionMode = Literal["sequential", "thread", "process"]
+
+EXECUTION_MODES: tuple[ExecutionMode, ...] = ("sequential", "thread", "process")
+
+
+def resolve_mode(parallel: bool = False, mode: str | None = None) -> ExecutionMode:
+    """Normalise the (legacy flag, explicit mode) pair to one execution mode."""
+    if mode is None:
+        return "thread" if parallel else "sequential"
+    if mode not in EXECUTION_MODES:
+        raise ConfigurationError(
+            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+        )
+    return mode  # type: ignore[return-value]
 
 
 def run_many(
@@ -22,18 +47,26 @@ def run_many(
     worker: Callable[[TaskT], ResultT],
     parallel: bool = False,
     max_workers: int | None = None,
+    mode: str | None = None,
 ) -> list[ResultT]:
     """Apply ``worker`` to every task, preserving input order.
 
-    With ``parallel=True`` a thread pool of ``max_workers`` threads (default:
-    one per task, capped at 8) is used, mirroring the N anonymization-module
-    instances of the SECRETA architecture diagram.
+    ``mode`` selects the execution backend (see the module docstring); when
+    omitted, ``parallel=True`` selects thread mode for backward compatibility.
+    Thread pools default to one worker per task capped at 8; process pools
+    default to one worker per task capped at the CPU count.  Process mode
+    requires ``worker``, the tasks and the results to be picklable.
     """
+    resolved = resolve_mode(parallel, mode)
     tasks = list(tasks)
     if not tasks:
         return []
-    if not parallel or len(tasks) == 1:
+    if resolved == "sequential" or len(tasks) == 1:
         return [worker(task) for task in tasks]
-    workers = max_workers or min(len(tasks), 8)
-    with ThreadPoolExecutor(max_workers=workers) as executor:
+    if resolved == "thread":
+        workers = max_workers or min(len(tasks), 8)
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(worker, tasks))
+    workers = max_workers or min(len(tasks), os.cpu_count() or 1)
+    with ProcessPoolExecutor(max_workers=workers) as executor:
         return list(executor.map(worker, tasks))

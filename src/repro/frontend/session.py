@@ -136,10 +136,21 @@ class Session:
         end: float,
         step: float,
         resources: ExperimentResources | None = None,
+        mode: str = "sequential",
+        max_workers: int | None = None,
     ) -> SweepResult:
-        """Varying-parameter execution of a single configuration."""
+        """Varying-parameter execution of a single configuration.
+
+        ``mode="process"`` evaluates the sweep points in parallel worker
+        processes (the algorithms are CPU-bound, so this is the mode that
+        actually uses multiple cores); ``max_workers`` caps the pool.
+        """
         experiment = VaryingParameterExperiment(
-            self.dataset, resources or self.resources(), verify_privacy=False
+            self.dataset,
+            resources or self.resources(),
+            verify_privacy=False,
+            mode=mode,
+            max_workers=max_workers,
         )
         return experiment.run(config, ParameterSweep.from_range(parameter, start, end, step))
 
@@ -153,8 +164,15 @@ class Session:
         step: float,
         resources: ExperimentResources | None = None,
         parallel: bool = False,
+        mode: str | None = None,
+        max_workers: int | None = None,
     ) -> ComparisonReport:
-        """Run several configurations across a sweep and collect their series."""
+        """Run several configurations across a sweep and collect their series.
+
+        ``mode="process"`` fans the configurations out across CPU cores
+        (capped by ``max_workers``); ``parallel=True`` keeps selecting the
+        legacy thread pool.
+        """
         if not configurations:
             raise ConfigurationError("the Comparison mode needs at least one configuration")
         comparator = MethodComparator(
@@ -162,6 +180,8 @@ class Session:
             resources or self.resources(),
             verify_privacy=False,
             parallel=parallel,
+            max_workers=max_workers,
+            mode=mode,
         )
         return comparator.compare(
             configurations, ParameterSweep.from_range(parameter, start, end, step)

@@ -1,0 +1,34 @@
+"""The interpretation index: shared, memoized lookups for hot paths.
+
+Every information-loss metric, the query-answering layer and the
+constraint-based transaction algorithms keep asking the same two questions:
+
+* *what original values may this generalized label stand for?* — answered by
+  :class:`LabelInterpreter`, a memoized view of
+  :func:`repro.metrics.interpretation.label_leaves` (plus the derived
+  generalization costs, numeric spans and per-itemset aggregates the metrics
+  need), keyed by one (hierarchy, item universe) pair, and
+* *which records contain an item of this group?* — answered by
+  :class:`InvertedIndex`, per-item posting lists with memoized group unions.
+
+Use :func:`interpreter_for` to obtain interpreters: it hands out one shared
+instance per (hierarchy, universe) pair so that repeated metric calls over
+the same experiment resources — a parameter sweep, a comparison run — reuse
+a single cache instead of re-deriving leaf sets per record per label.
+"""
+
+from repro.index.interpreter import (
+    LabelInterpreter,
+    evict_when_full,
+    generalization_cost,
+    interpreter_for,
+)
+from repro.index.inverted import InvertedIndex
+
+__all__ = [
+    "LabelInterpreter",
+    "InvertedIndex",
+    "evict_when_full",
+    "generalization_cost",
+    "interpreter_for",
+]

@@ -1,0 +1,246 @@
+"""Memoized interpretation of generalized labels.
+
+Resolving a generalized label to its leaf set
+(:func:`repro.metrics.interpretation.label_leaves`) is pure but not free: an
+explicit item group parses its label, a hierarchy node walks its subtree.
+The metric and query hot paths used to re-derive the mapping per record per
+label — an O(records × labels) rebuild.  :class:`LabelInterpreter` memoizes
+the resolution for one (hierarchy, universe) pair together with everything
+the metrics derive from it:
+
+* ``leaves`` / ``restricted_leaves`` / ``size`` — leaf sets and their sizes,
+* ``cost`` — the utility-loss charge of publishing a label,
+* ``span`` — numeric bounds of interval labels,
+* ``covered_items`` / ``best_costs`` / ``frequency_weights`` — per-itemset
+  aggregates, memoized on the (typically few) distinct anonymized itemsets.
+
+:func:`interpreter_for` hands out shared instances so repeated metric calls
+over the same resources reuse one cache; hierarchies are held weakly so the
+cache never outlives them.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Iterable, Mapping
+
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.metrics.interpretation import label_leaves, label_span
+
+#: Default bound for the index subsystem's memo dictionaries.
+DEFAULT_CACHE_CAP = 65536
+
+
+def evict_when_full(cache: dict, cap: int = DEFAULT_CACHE_CAP) -> None:
+    """Clear ``cache`` before an insert would push it past ``cap`` entries.
+
+    The single bounded-memo safety valve shared by every cache in the index
+    subsystem and its consumers: long-lived memos must stay bounded under
+    adversarial inputs where every label/itemset/cell is distinct.
+    """
+    if len(cache) >= cap:
+        cache.clear()
+
+#: Each (hierarchy, universe-key) cache bucket is cleared when it grows past
+#: this many distinct universes (one interpreter per universe).
+_MAX_FREE_INTERPRETERS = 128
+
+_NO_SPAN = object()  # sentinel: "span computed, label is not numeric"
+
+
+def generalization_cost(size: int, domain_size: int) -> float:
+    """Utility-loss charge of a label standing for ``size`` of ``domain_size`` values.
+
+    An original value costs 0, a label standing for ``n`` values costs
+    ``(n - 1) / (domain - 1)``, the root costs 1.  This is the single
+    implementation of the charging rule; :meth:`LabelInterpreter.cost` and
+    :func:`repro.metrics.transaction.item_generalization_cost` both apply it.
+    """
+    if domain_size <= 1:
+        return 0.0
+    return max(0, size - 1) / (domain_size - 1)
+
+
+class LabelInterpreter:
+    """Memoized label → leaves/cost/span resolution for one (hierarchy, universe).
+
+    ``universe`` is the item universe of the *original* dataset (or ``None``
+    for relational attributes, where the metrics interpret labels against the
+    hierarchy alone).  All lookups are cached for the lifetime of the
+    interpreter, so a single instance should only ever be used with one
+    hierarchy/universe pair — use :func:`interpreter_for` to get the shared
+    instance for a pair.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy | None = None,
+        universe: Iterable[str] | None = None,
+    ):
+        self.hierarchy = hierarchy
+        self.universe: frozenset[str] | None = (
+            None if universe is None else frozenset(str(item) for item in universe)
+        )
+        self._leaves: dict[str, frozenset[str]] = {}
+        self._restricted: dict[str, frozenset[str]] = {}
+        self._spans: dict[str, object] = {}
+        self._covered: dict[frozenset, frozenset[str]] = {}
+        self._best_costs: dict[frozenset, dict[str, float]] = {}
+        self._weights: dict[frozenset, dict[str, float]] = {}
+
+    def __repr__(self) -> str:
+        universe = "None" if self.universe is None else len(self.universe)
+        return (
+            f"LabelInterpreter(hierarchy={self.hierarchy!r}, "
+            f"universe_size={universe}, cached_labels={len(self._leaves)})"
+        )
+
+    # -- per-label lookups -----------------------------------------------------
+    def leaves(self, label) -> frozenset[str]:
+        """The original values ``label`` may stand for (memoized)."""
+        label = str(label)
+        try:
+            return self._leaves[label]
+        except KeyError:
+            resolved = label_leaves(label, self.hierarchy, universe=self.universe)
+            self._guard(self._leaves)
+            self._leaves[label] = resolved
+            return resolved
+
+    def restricted_leaves(self, label) -> frozenset[str]:
+        """``leaves(label)`` intersected with the universe (memoized)."""
+        label = str(label)
+        try:
+            return self._restricted[label]
+        except KeyError:
+            resolved = self.leaves(label)
+            if self.universe is not None:
+                resolved = resolved & self.universe
+            self._guard(self._restricted)
+            self._restricted[label] = resolved
+            return resolved
+
+    def size(self, label) -> int:
+        """Number of original values ``label`` stands for (>= 1)."""
+        return max(1, len(self.leaves(label)))
+
+    def cost(self, label, domain_size: int | None = None) -> float:
+        """Utility-loss charge of publishing ``label`` instead of an original item.
+
+        An original item costs 0, a generalized item standing for ``n`` values
+        costs ``(n - 1) / (domain - 1)``, the root costs 1.  ``domain_size``
+        defaults to the size of the interpreter's universe.
+        """
+        if domain_size is None:
+            domain_size = len(self.universe) if self.universe is not None else 0
+        return generalization_cost(len(self.leaves(label)), domain_size)
+
+    def span(self, label) -> tuple[float, float] | None:
+        """Numeric bounds of an interval label (``None`` if not numeric)."""
+        label = str(label)
+        cached = self._spans.get(label)
+        if cached is None:
+            cached = label_span(label, self.hierarchy)
+            self._guard(self._spans)
+            self._spans[label] = _NO_SPAN if cached is None else cached
+            return cached
+        return None if cached is _NO_SPAN else cached  # type: ignore[return-value]
+
+    # -- per-itemset aggregates -------------------------------------------------
+    def covered_items(self, itemset: Iterable[str]) -> frozenset[str]:
+        """Original universe items that remain (possibly generalized) in ``itemset``."""
+        key = itemset if isinstance(itemset, frozenset) else frozenset(itemset)
+        cached = self._covered.get(key)
+        if cached is None:
+            covered: set[str] = set()
+            for label in key:
+                covered |= self.restricted_leaves(label)
+            cached = frozenset(covered)
+            self._guard(self._covered)
+            self._covered[key] = cached
+        return cached
+
+    def best_costs(self, itemset: Iterable[str]) -> Mapping[str, float]:
+        """For each covered original item, the cost of its cheapest covering label.
+
+        Items of the universe absent from the mapping are not covered by any
+        label of ``itemset`` (i.e. they were suppressed) and should be charged
+        the full cost of 1.  Costs are clamped to 1, matching how utility loss
+        never charges more than outright suppression.
+        """
+        key = itemset if isinstance(itemset, frozenset) else frozenset(itemset)
+        cached = self._best_costs.get(key)
+        if cached is None:
+            cached = {}
+            for label in key:
+                cost = min(1.0, self.cost(label))
+                for item in self.restricted_leaves(label):
+                    current = cached.get(item)
+                    if current is None or cost < current:
+                        cached[item] = cost
+            self._guard(self._best_costs)
+            self._best_costs[key] = cached
+        return cached
+
+    def frequency_weights(self, itemset: Iterable[str]) -> Mapping[str, float]:
+        """Expected per-item support contribution of one anonymized itemset.
+
+        Each label contributes ``1 / |restricted_leaves(label)|`` to every
+        universe item it may stand for (uniformity assumption).
+        """
+        key = itemset if isinstance(itemset, frozenset) else frozenset(itemset)
+        cached = self._weights.get(key)
+        if cached is None:
+            cached = {}
+            for label in key:
+                leaves = self.restricted_leaves(label)
+                if not leaves:
+                    continue
+                weight = 1.0 / len(leaves)
+                for item in leaves:
+                    cached[item] = cached.get(item, 0.0) + weight
+            self._guard(self._weights)
+            self._weights[key] = cached
+        return cached
+
+    _guard = staticmethod(evict_when_full)
+
+
+#: hierarchy -> {universe key -> interpreter}; hierarchies are held weakly.
+_by_hierarchy: "weakref.WeakKeyDictionary[Hierarchy, dict]" = weakref.WeakKeyDictionary()
+#: universe key -> interpreter, for the hierarchy-free algorithms (COAT/PCTA).
+_no_hierarchy: dict[frozenset[str] | None, LabelInterpreter] = {}
+
+
+def interpreter_for(
+    hierarchy: Hierarchy | None = None,
+    universe: Iterable[str] | None = None,
+) -> LabelInterpreter:
+    """The shared :class:`LabelInterpreter` for a (hierarchy, universe) pair.
+
+    Two calls with the same hierarchy object and an equal universe return the
+    same instance, so every metric computed over the same experiment resources
+    shares one label cache.
+    """
+    key = None if universe is None else frozenset(str(item) for item in universe)
+    if hierarchy is None:
+        cache = _no_hierarchy
+    else:
+        cache = _by_hierarchy.get(hierarchy)
+        if cache is None:
+            cache = {}
+            _by_hierarchy[hierarchy] = cache
+    interpreter = cache.get(key)
+    if interpreter is None:
+        if len(cache) >= _MAX_FREE_INTERPRETERS:
+            cache.clear()
+        # Cached interpreters hold their hierarchy through a weak proxy:
+        # a strong reference would keep the WeakKeyDictionary key alive
+        # forever and the hierarchy (plus all its caches) could never be
+        # collected.  The entry dies with the hierarchy; a stale interpreter
+        # kept by a caller after dropping the hierarchy fails loudly
+        # (ReferenceError) instead of silently resolving labels differently.
+        referent = hierarchy if hierarchy is None else weakref.proxy(hierarchy)
+        interpreter = LabelInterpreter(referent, key)
+        cache[key] = interpreter
+    return interpreter

@@ -1,0 +1,107 @@
+"""Inverted index of a transaction attribute: item → posting list.
+
+The constraint-based transaction algorithms (COAT, PCTA) spend almost all of
+their time asking *"which records could contain an item of this group?"* —
+the union of the group members' posting lists.  The same groups recur across
+constraint iterations, so :class:`InvertedIndex` memoizes unions by the
+(frozen) item group.  The memoization is pure: a cached union is exactly the
+union that would be recomputed, so algorithm outputs are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.datasets.dataset import Dataset
+from repro.index.interpreter import evict_when_full
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+class InvertedIndex:
+    """Per-item posting lists over one transaction attribute.
+
+    ``cached=False`` disables union memoization (every union is recomputed);
+    it exists so tests can verify the memoization changes nothing.
+    """
+
+    def __init__(
+        self,
+        postings: Mapping[str, Iterable[int]],
+        n_records: int = 0,
+        cached: bool = True,
+    ):
+        self._postings: dict[str, frozenset[int]] = {
+            str(item): frozenset(records) for item, records in postings.items()
+        }
+        self.n_records = n_records
+        self._cached = cached
+        self._unions: dict[frozenset, frozenset[int]] = {}
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: Dataset, attribute: str | None = None, cached: bool = True
+    ) -> "InvertedIndex":
+        """Build the index of ``attribute`` (default: the only transaction one)."""
+        attribute = attribute or dataset.single_transaction_attribute()
+        postings: dict[str, set[int]] = {}
+        for index, record in enumerate(dataset):
+            for item in record[attribute]:
+                postings.setdefault(item, set()).add(index)
+        return cls(postings, n_records=len(dataset), cached=cached)
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex(items={len(self._postings)}, "
+            f"records={self.n_records}, cached_unions={len(self._unions)})"
+        )
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    @property
+    def universe(self) -> frozenset[str]:
+        """All indexed items."""
+        return frozenset(self._postings)
+
+    def postings(self, item: str) -> frozenset[int]:
+        """Records containing ``item`` (empty for unknown items)."""
+        return self._postings.get(item, _EMPTY)
+
+    def frequency(self, item: str) -> int:
+        """Support of a single item."""
+        return len(self._postings.get(item, _EMPTY))
+
+    def union(self, items: Iterable[str]) -> frozenset[int]:
+        """Records containing *any* item of the group (memoized per group)."""
+        key = items if isinstance(items, frozenset) else frozenset(items)
+        if self._cached:
+            cached = self._unions.get(key)
+            if cached is not None:
+                return cached
+        combined: set[int] = set()
+        for item in key:
+            combined |= self._postings.get(item, _EMPTY)
+        result = frozenset(combined)
+        if self._cached:
+            evict_when_full(self._unions)
+            self._unions[key] = result
+        return result
+
+    def joint_support(self, groups: Iterable[Iterable[str]]) -> int:
+        """Records containing an item of *every* group (0 for no groups).
+
+        This is the support computation of COAT/PCTA privacy constraints:
+        each constraint item is represented by its current group, and a record
+        supports the constraint when it intersects every group.
+        """
+        covering: frozenset[int] | None = None
+        for group in groups:
+            records = self.union(group)
+            covering = records if covering is None else covering & records
+            if not covering:
+                return 0
+        return len(covering) if covering is not None else 0

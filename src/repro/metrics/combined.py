@@ -16,7 +16,8 @@ from typing import Mapping, Sequence
 from repro.datasets.dataset import Dataset
 from repro.exceptions import DatasetError
 from repro.hierarchy.hierarchy import Hierarchy
-from repro.metrics.relational import global_certainty_penalty
+from repro.index import interpreter_for
+from repro.metrics.relational import RelationalLossContext, global_certainty_penalty
 from repro.metrics.transaction import utility_loss
 
 
@@ -49,11 +50,16 @@ def rt_utility(
     transaction_attribute: str | None = None,
     hierarchies: Mapping[str, Hierarchy] | None = None,
     weight: float = 0.5,
+    context: RelationalLossContext | None = None,
 ) -> RtUtility:
     """Measure both sides of an anonymized RT-dataset's utility.
 
     ``weight`` expresses the relative importance of the relational side
     (0 = only the transaction side matters, 1 = only the relational side).
+    Both sides run on the shared interpretation index: a caller scoring many
+    anonymized versions of the same original (a sweep, a comparison) may pass
+    a pre-built relational ``context``, and the transaction side reuses the
+    shared per-(hierarchy, universe) label interpreter automatically.
     """
     if not 0 <= weight <= 1:
         raise DatasetError("weight must lie in [0, 1]")
@@ -67,17 +73,21 @@ def rt_utility(
         ]
     if relational_attributes:
         relational_gcp = global_certainty_penalty(
-            original, anonymized, relational_attributes, hierarchies
+            original, anonymized, relational_attributes, hierarchies, context=context
         )
     transaction_ul = 0.0
     transaction_names = original.schema.transaction_names
     if transaction_names:
         attribute = transaction_attribute or transaction_names[0]
+        interpreter = interpreter_for(
+            hierarchies.get(attribute), original.item_universe(attribute)
+        )
         transaction_ul = utility_loss(
             original,
             anonymized,
             attribute=attribute,
             hierarchy=hierarchies.get(attribute),
+            interpreter=interpreter,
         )
     return RtUtility(
         relational_gcp=relational_gcp,

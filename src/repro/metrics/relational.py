@@ -20,23 +20,37 @@ from typing import Mapping, Sequence
 from repro.datasets.dataset import Dataset
 from repro.exceptions import DatasetError
 from repro.hierarchy.hierarchy import Hierarchy
-from repro.metrics.interpretation import SUPPRESSED, label_leaves, label_span
+from repro.index import LabelInterpreter, evict_when_full, interpreter_for
+from repro.metrics.interpretation import SUPPRESSED
 
 
 def categorical_value_ncp(
-    label: str, hierarchy: Hierarchy | None, domain_size: int
+    label: str,
+    hierarchy: Hierarchy | None,
+    domain_size: int,
+    interpreter: LabelInterpreter | None = None,
 ) -> float:
     """NCP of one categorical cell: ``(|leaves(label)| - 1) / (|domain| - 1)``."""
     if domain_size <= 1:
         return 0.0
     if str(label) == SUPPRESSED:
         return 1.0
-    leaves = label_leaves(str(label), hierarchy)
+    if interpreter is None:
+        interpreter = interpreter_for(hierarchy)
+    leaves = interpreter.leaves(label)
+    if not leaves:
+        # Only the root "*" resolves to nothing without a hierarchy; it stands
+        # for the whole domain and must be charged fully, not 0.
+        return 1.0
     return max(0, len(leaves) - 1) / (domain_size - 1)
 
 
 def numeric_value_ncp(
-    label, hierarchy: Hierarchy | None, domain_low: float, domain_high: float
+    label,
+    hierarchy: Hierarchy | None,
+    domain_low: float,
+    domain_high: float,
+    interpreter: LabelInterpreter | None = None,
 ) -> float:
     """NCP of one numeric cell: the width of its range over the domain width."""
     if domain_high <= domain_low:
@@ -45,7 +59,9 @@ def numeric_value_ncp(
         return 1.0
     if isinstance(label, (int, float)):
         return 0.0
-    span = label_span(str(label), hierarchy)
+    if interpreter is None:
+        interpreter = interpreter_for(hierarchy)
+    span = interpreter.span(label)
     if span is None:
         # A label we cannot interpret numerically; treat as fully generalized.
         return 1.0
@@ -88,14 +104,39 @@ class RelationalLossContext:
                 self.numeric_attributes.add(name)
                 self.domain_ranges[name] = (float(min(domain)), float(max(domain)))
             self.domain_sizes[name] = len(domain)
+        #: One shared label interpreter per scored attribute, plus a per-cell
+        #: NCP memo: anonymized columns contain few distinct labels, so the
+        #: per-record work collapses to a dictionary lookup.
+        self._interpreters: dict[str, LabelInterpreter] = {
+            name: interpreter_for(self.hierarchies.get(name)) for name in self.attributes
+        }
+        self._cell_ncp_cache: dict[tuple[str, object], float] = {}
 
     def cell_ncp(self, attribute: str, label) -> float:
-        """NCP of a single anonymized cell."""
+        """NCP of a single anonymized cell (memoized per distinct label).
+
+        Raw numeric cells are not cached: they already score instantly and
+        high-cardinality columns would pay memory for no speedup.
+        """
         hierarchy = self.hierarchies.get(attribute)
-        if attribute in self.numeric_attributes:
+        interpreter = self._interpreters.get(attribute)
+        numeric = attribute in self.numeric_attributes
+        if numeric and isinstance(label, (int, float)):
             low, high = self.domain_ranges[attribute]
-            return numeric_value_ncp(label, hierarchy, low, high)
-        return categorical_value_ncp(label, hierarchy, self.domain_sizes[attribute])
+            return numeric_value_ncp(label, hierarchy, low, high, interpreter)
+        key = (attribute, label)
+        cached = self._cell_ncp_cache.get(key)
+        if cached is None:
+            if numeric:
+                low, high = self.domain_ranges[attribute]
+                cached = numeric_value_ncp(label, hierarchy, low, high, interpreter)
+            else:
+                cached = categorical_value_ncp(
+                    label, hierarchy, self.domain_sizes[attribute], interpreter
+                )
+            evict_when_full(self._cell_ncp_cache)
+            self._cell_ncp_cache[key] = cached
+        return cached
 
     def record_ncp(self, record) -> float:
         """Average NCP of one anonymized record over the scored attributes."""
@@ -111,11 +152,17 @@ def global_certainty_penalty(
     anonymized: Dataset,
     attributes: Sequence[str] | None = None,
     hierarchies: Mapping[str, Hierarchy] | None = None,
+    context: RelationalLossContext | None = None,
 ) -> float:
-    """GCP: the average record NCP of the anonymized dataset (0 = intact)."""
+    """GCP: the average record NCP of the anonymized dataset (0 = intact).
+
+    Pass a pre-built ``context`` to reuse its domain information and NCP memo
+    when scoring many anonymized versions of the same original dataset.
+    """
     if len(anonymized) == 0:
         return 0.0
-    context = RelationalLossContext(original, attributes, hierarchies)
+    if context is None:
+        context = RelationalLossContext(original, attributes, hierarchies)
     total = sum(context.record_ncp(record) for record in anonymized)
     return total / len(anonymized)
 

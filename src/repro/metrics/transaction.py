@@ -13,41 +13,54 @@ SECRETA integrates:
 * **Item frequency error** — the average relative error of per-item supports
   estimated from the anonymized data (the series plotted in the Evaluation
   screen, Figure 3(d)).
+
+All measures run on the shared interpretation index
+(:mod:`repro.index`): label resolution and the per-itemset aggregates are
+memoized per (hierarchy, universe) pair instead of being re-derived per
+record per label.
 """
 
 from __future__ import annotations
-
-from typing import Mapping
 
 from repro.datasets.dataset import Dataset
 from repro.datasets.statistics import value_frequencies
 from repro.exceptions import DatasetError
 from repro.hierarchy.hierarchy import Hierarchy
+from repro.index import LabelInterpreter, generalization_cost, interpreter_for
 from repro.metrics.interpretation import label_leaves
 
 
+def _require_universe(interpreter: LabelInterpreter) -> None:
+    """Reject interpreters built without an item universe.
+
+    A universe-less interpreter resolves the root to nothing and charges every
+    label 0, silently understating loss — the failure mode the root-label
+    bugfix removed.  Fail loudly instead.
+    """
+    if interpreter.universe is None:
+        raise DatasetError(
+            "the supplied interpreter was built without an item universe; "
+            "use interpreter_for(hierarchy, original.item_universe(attribute))"
+        )
+
+
 def item_generalization_cost(
-    label: str, universe_size: int, hierarchy: Hierarchy | None = None
+    label: str,
+    universe_size: int,
+    hierarchy: Hierarchy | None = None,
+    universe: set[str] | None = None,
 ) -> float:
     """Cost of publishing ``label`` instead of an original item.
 
     An original item costs 0, a generalized item ``(a,b,c)`` costs
-    ``(3 - 1) / (|I| - 1)``, and the root (all items) costs 1.
+    ``(3 - 1) / (|I| - 1)``, and the root (all items) costs 1.  The root
+    label ``*`` can only be resolved through a ``hierarchy`` or the item
+    ``universe``; on the hierarchy-free COAT/PCTA path callers must pass
+    ``universe`` or the root resolves to nothing and is charged 0 (the
+    pre-fix behavior, kept only for the legacy no-universe signature).
     """
-    if universe_size <= 1:
-        return 0.0
-    size = len(label_leaves(str(label), hierarchy))
-    return max(0, size - 1) / (universe_size - 1)
-
-
-def _covered_items(
-    itemset: frozenset, hierarchy: Hierarchy | None, universe: set[str]
-) -> set[str]:
-    """Original items that remain (possibly generalized) in an anonymized itemset."""
-    covered: set[str] = set()
-    for label in itemset:
-        covered.update(label_leaves(str(label), hierarchy, universe=universe))
-    return covered & universe
+    size = len(label_leaves(str(label), hierarchy, universe=universe))
+    return generalization_cost(size, universe_size)
 
 
 def utility_loss(
@@ -55,42 +68,38 @@ def utility_loss(
     anonymized: Dataset,
     attribute: str | None = None,
     hierarchy: Hierarchy | None = None,
+    interpreter: LabelInterpreter | None = None,
 ) -> float:
-    """UL of an anonymized transaction attribute (0 intact .. 1 destroyed)."""
+    """UL of an anonymized transaction attribute (0 intact .. 1 destroyed).
+
+    ``interpreter`` may be supplied to share one label cache across many
+    metric calls; it must have been built for ``hierarchy`` and the original
+    dataset's item universe (as :func:`repro.index.interpreter_for` does).
+    """
     attribute = attribute or original.single_transaction_attribute()
     if len(original) != len(anonymized):
         raise DatasetError(
             "utility_loss expects aligned datasets "
             f"({len(original)} vs {len(anonymized)} records)"
         )
-    universe = original.item_universe(attribute)
-    universe_size = len(universe)
     total_items = sum(len(record[attribute]) for record in original)
     if total_items == 0:
         return 0.0
+    if interpreter is None:
+        interpreter = interpreter_for(hierarchy, original.item_universe(attribute))
+    else:
+        _require_universe(interpreter)
 
     loss = 0.0
     for original_record, anonymized_record in zip(original, anonymized):
         source_items = original_record[attribute]
         if not source_items:
             continue
-        target_labels = anonymized_record[attribute]
-        covered = _covered_items(target_labels, hierarchy, universe)
         # Charge each original item: 1 if it disappeared, otherwise the cost
         # of the most specific label that still covers it.
+        best_costs = interpreter.best_costs(anonymized_record[attribute])
         for item in source_items:
-            if item not in covered:
-                loss += 1.0
-                continue
-            best = 1.0
-            for label in target_labels:
-                leaves = label_leaves(str(label), hierarchy, universe=universe)
-                if item in leaves:
-                    best = min(
-                        best,
-                        item_generalization_cost(label, universe_size, hierarchy),
-                    )
-            loss += best
+            loss += best_costs.get(item, 1.0)
     return loss / total_items
 
 
@@ -99,16 +108,20 @@ def suppression_ratio(
     anonymized: Dataset,
     attribute: str | None = None,
     hierarchy: Hierarchy | None = None,
+    interpreter: LabelInterpreter | None = None,
 ) -> float:
     """Fraction of original item occurrences that vanished from the output."""
     attribute = attribute or original.single_transaction_attribute()
     if len(original) != len(anonymized):
         raise DatasetError("suppression_ratio expects aligned datasets")
-    universe = original.item_universe(attribute)
+    if interpreter is None:
+        interpreter = interpreter_for(hierarchy, original.item_universe(attribute))
+    else:
+        _require_universe(interpreter)
     total = 0
     suppressed = 0
     for original_record, anonymized_record in zip(original, anonymized):
-        covered = _covered_items(anonymized_record[attribute], hierarchy, universe)
+        covered = interpreter.covered_items(anonymized_record[attribute])
         for item in original_record[attribute]:
             total += 1
             if item not in covered:
@@ -121,6 +134,7 @@ def estimated_item_frequencies(
     universe: set[str],
     attribute: str | None = None,
     hierarchy: Hierarchy | None = None,
+    interpreter: LabelInterpreter | None = None,
 ) -> dict[str, float]:
     """Expected support of each original item, estimated from anonymized data.
 
@@ -128,14 +142,18 @@ def estimated_item_frequencies(
     to every original item ``g`` may stand for (uniformity assumption).
     """
     attribute = attribute or anonymized.single_transaction_attribute()
+    if interpreter is None:
+        interpreter = interpreter_for(hierarchy, universe)
+    else:
+        _require_universe(interpreter)
     estimates = {item: 0.0 for item in universe}
     for record in anonymized:
-        for label in record[attribute]:
-            leaves = label_leaves(str(label), hierarchy, universe=universe) & set(universe)
-            if not leaves:
-                continue
-            weight = 1.0 / len(leaves)
-            for item in leaves:
+        for item, weight in interpreter.frequency_weights(record[attribute]).items():
+            # The interpreter works on stringified items (dataset items are
+            # always strings); weights whose keys don't appear in the caller's
+            # universe are dropped, so an out-of-contract non-string universe
+            # yields all-zero estimates instead of a KeyError.
+            if item in estimates:
                 estimates[item] += weight
     return estimates
 

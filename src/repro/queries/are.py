@@ -20,6 +20,7 @@ from typing import Mapping
 from repro.datasets.dataset import Dataset
 from repro.exceptions import QueryError
 from repro.hierarchy.hierarchy import Hierarchy
+from repro.index import LabelInterpreter, interpreter_for
 from repro.queries.query import Query
 from repro.queries.workload import QueryWorkload
 
@@ -70,16 +71,34 @@ def evaluate_query(
     anonymized: Dataset,
     hierarchies: Mapping[str, Hierarchy] | None = None,
     floor: float = 1.0,
+    interpreters: Mapping[str, LabelInterpreter] | None = None,
 ) -> QueryEvaluation:
     """Evaluate one query on the original and the anonymized dataset."""
     actual = float(query.count(original))
-    estimate = float(query.estimate(anonymized, hierarchies=hierarchies))
+    estimate = float(
+        query.estimate(anonymized, hierarchies=hierarchies, interpreters=interpreters)
+    )
     return QueryEvaluation(
         query=query,
         actual=actual,
         estimate=estimate,
         relative_error=relative_error(actual, estimate, floor=floor),
     )
+
+
+def workload_interpreters(
+    hierarchies: Mapping[str, Hierarchy] | None,
+) -> dict[str, LabelInterpreter]:
+    """One shared label interpreter per hierarchy-backed attribute.
+
+    Built once per workload evaluation so every query of the workload resolves
+    generalized labels through the same memoized index instead of re-walking
+    hierarchies per record per query.
+    """
+    return {
+        attribute: interpreter_for(hierarchy)
+        for attribute, hierarchy in (hierarchies or {}).items()
+    }
 
 
 def average_relative_error(
@@ -90,8 +109,16 @@ def average_relative_error(
     floor: float = 1.0,
 ) -> AreResult:
     """Evaluate a whole workload and return the ARE with per-query detail."""
+    interpreters = workload_interpreters(hierarchies)
     per_query = tuple(
-        evaluate_query(query, original, anonymized, hierarchies=hierarchies, floor=floor)
+        evaluate_query(
+            query,
+            original,
+            anonymized,
+            hierarchies=hierarchies,
+            floor=floor,
+            interpreters=interpreters,
+        )
         for query in workload
     )
     are = sum(entry.relative_error for entry in per_query) / len(per_query)

@@ -21,7 +21,7 @@ from typing import Any, Iterable, Mapping
 from repro.datasets.dataset import Dataset, Record
 from repro.exceptions import QueryError
 from repro.hierarchy.hierarchy import Hierarchy
-from repro.metrics.interpretation import label_leaves, label_span
+from repro.index import LabelInterpreter, interpreter_for
 
 
 @dataclass(frozen=True)
@@ -36,14 +36,19 @@ class RangeCondition:
             raise QueryError(f"empty range [{self.low}, {self.high}]")
 
     def match_probability(
-        self, value: Any, hierarchy: Hierarchy | None = None
+        self,
+        value: Any,
+        hierarchy: Hierarchy | None = None,
+        interpreter: LabelInterpreter | None = None,
     ) -> float:
         """Probability that a (possibly generalized) value satisfies the range."""
         if value is None:
             return 0.0
         if isinstance(value, (int, float)):
             return 1.0 if self.low <= value <= self.high else 0.0
-        span = label_span(str(value), hierarchy)
+        if interpreter is None:
+            interpreter = interpreter_for(hierarchy)
+        span = interpreter.span(value)
         if span is None:
             return 0.0
         low, high = span
@@ -72,7 +77,10 @@ class ValueCondition:
             raise QueryError("a value condition needs at least one accepted value")
 
     def match_probability(
-        self, value: Any, hierarchy: Hierarchy | None = None
+        self,
+        value: Any,
+        hierarchy: Hierarchy | None = None,
+        interpreter: LabelInterpreter | None = None,
     ) -> float:
         """Probability that a (possibly generalized) value is an accepted one."""
         if value is None:
@@ -80,7 +88,9 @@ class ValueCondition:
         value = str(value)
         if value in self.accepted:
             return 1.0
-        leaves = label_leaves(value, hierarchy)
+        if interpreter is None:
+            interpreter = interpreter_for(hierarchy)
+        leaves = interpreter.leaves(value)
         if not leaves:
             return 0.0
         matching = len(leaves & self.accepted)
@@ -154,36 +164,48 @@ class Query:
         self,
         dataset: Dataset,
         hierarchies: Mapping[str, Hierarchy] | None = None,
+        interpreters: Mapping[str, LabelInterpreter] | None = None,
     ) -> float:
         """Expected number of matching records in an anonymized dataset.
 
         Every record contributes the product of the per-predicate match
         probabilities (independence + uniformity assumptions, as in the
         query-answering evaluations of the anonymization literature).
+        ``interpreters`` maps attribute names to pre-built label interpreters
+        (one per hierarchy); missing entries are resolved through the shared
+        interpreter cache, so label resolution is memoized either way.
         """
         hierarchies = hierarchies or {}
+        interpreters = dict(interpreters or {})
         transaction_attribute = self._transaction_attribute(dataset)
-        item_hierarchy = (
-            hierarchies.get(transaction_attribute) if transaction_attribute else None
-        )
+        if self.items and transaction_attribute is None:
+            raise QueryError(
+                "query has item predicates but the dataset has no "
+                "transaction attribute"
+            )
+        for attribute in (*self.conditions, transaction_attribute):
+            if attribute is not None and attribute not in interpreters:
+                interpreters[attribute] = interpreter_for(hierarchies.get(attribute))
         total = 0.0
         for record in dataset:
             probability = 1.0
             for attribute, condition in self.conditions.items():
                 probability *= condition.match_probability(
-                    record[attribute], hierarchies.get(attribute)
+                    record[attribute],
+                    hierarchies.get(attribute),
+                    interpreters[attribute],
                 )
                 if probability == 0.0:
                     break
             if probability and self.items:
                 probability *= self._itemset_probability(
-                    record[transaction_attribute], item_hierarchy
+                    record[transaction_attribute], interpreters[transaction_attribute]
                 )
             total += probability
         return total
 
     def _itemset_probability(
-        self, itemset: frozenset, hierarchy: Hierarchy | None
+        self, itemset: frozenset, interpreter: LabelInterpreter
     ) -> float:
         probability = 1.0
         for item in self.items:
@@ -191,7 +213,7 @@ class Query:
                 continue
             best = 0.0
             for generalized in itemset:
-                leaves = label_leaves(str(generalized), hierarchy)
+                leaves = interpreter.leaves(generalized)
                 if item in leaves:
                     best = max(best, 1.0 / len(leaves))
             probability *= best

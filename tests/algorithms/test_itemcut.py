@@ -8,7 +8,7 @@ from repro.algorithms.transaction._itemcut import (
     greedy_km_anonymize,
 )
 from repro.exceptions import AlgorithmError
-from repro.hierarchy import build_item_hierarchy
+from repro.hierarchy import HierarchyBuilder, build_item_hierarchy
 
 
 @pytest.fixture
@@ -35,6 +35,19 @@ class TestItemCut:
         cut = ItemCut(hierarchy, ["i0", "i1"])
         assert cut.image("i0") == "i0"
         assert cut.nodes == {"i0", "i1"}
+
+    def test_group_like_node_labels_resolve_from_the_hierarchy(self):
+        # Regression: a hierarchy node whose label *looks like* an item-group
+        # label, e.g. "(a,b)", must be resolved via its actual subtree (here
+        # covering c as well), not parsed from the label text.
+        builder = HierarchyBuilder(attribute="Items")
+        builder.add("(a,b)", "*")
+        for leaf in ("a", "b", "c"):
+            builder.add(leaf, "(a,b)")
+        cut = ItemCut(builder.build(), ["a", "b", "c"])
+        assert cut.generalize_node("a") == "(a,b)"
+        assert cut.mapping == {"a": "(a,b)", "b": "(a,b)", "c": "(a,b)"}
+        assert cut.nodes == {"(a,b)"}  # still a partition of the universe
 
     def test_unknown_items_rejected(self, hierarchy):
         with pytest.raises(AlgorithmError):

@@ -14,6 +14,11 @@ from repro.engine import (
 from repro.exceptions import ConfigurationError
 
 
+def _add_one(value):
+    """Module-level worker: process mode must be able to pickle it."""
+    return value + 1
+
+
 @pytest.fixture(scope="module")
 def rt():
     return generate_rt_dataset(n_records=90, n_items=15, seed=29)
@@ -129,3 +134,47 @@ class TestRunner:
 
     def test_run_many_empty(self):
         assert run_many([], lambda value: value) == []
+
+    def test_run_many_process_mode(self):
+        results = run_many(list(range(8)), _add_one, mode="process", max_workers=2)
+        assert results == list(range(1, 9))
+
+    def test_run_many_mode_overrides_parallel_flag(self):
+        assert run_many([1, 2], _add_one, parallel=True, mode="sequential") == [2, 3]
+
+    def test_run_many_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            run_many([1], _add_one, mode="gpu")
+
+
+class TestProcessExecution:
+    def test_process_sweep_matches_sequential(self, rt):
+        config = transaction_config("apriori", m=1)
+        sweep = ParameterSweep("k", (2, 5))
+        sequential = VaryingParameterExperiment(rt).run(config, sweep)
+        processed = VaryingParameterExperiment(rt, mode="process", max_workers=2).run(
+            config, sweep
+        )
+        assert processed.values == sequential.values
+        assert processed.series["transaction_ul"].y == pytest.approx(
+            sequential.series["transaction_ul"].y
+        )
+        assert processed.series["are"].y == pytest.approx(sequential.series["are"].y)
+
+    def test_process_comparison_matches_sequential(self, rt):
+        configurations = [
+            transaction_config("apriori", m=1, label="AA"),
+            transaction_config("vpa", m=1, label="VPA"),
+        ]
+        sweep = ParameterSweep("k", (3,))
+        sequential = MethodComparator(rt).compare(configurations, sweep)
+        processed = MethodComparator(rt, mode="process", max_workers=2).compare(
+            configurations, sweep
+        )
+        assert [s.configuration["label"] for s in processed.sweeps] == [
+            s.configuration["label"] for s in sequential.sweeps
+        ]
+        for left, right in zip(sequential.sweeps, processed.sweeps):
+            assert left.series["transaction_ul"].y == pytest.approx(
+                right.series["transaction_ul"].y
+            )

@@ -38,6 +38,12 @@ class TestValueNcp:
     def test_categorical_degenerate_domain(self):
         assert categorical_value_ncp("(a,b)", None, domain_size=1) == 0.0
 
+    def test_categorical_root_label_is_fully_generalized(self):
+        # Regression: without a hierarchy the root "*" resolved to an empty
+        # leaf set and scored NCP 0 instead of 1 (the relational analogue of
+        # the transaction-side root-label utility bug).
+        assert categorical_value_ncp("*", None, domain_size=5) == 1.0
+
     def test_numeric_exact_value_has_zero_ncp(self):
         assert numeric_value_ncp(25, None, 0, 100) == 0.0
         assert numeric_value_ncp("25", None, 0, 100) == 0.0

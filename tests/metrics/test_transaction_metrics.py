@@ -43,6 +43,13 @@ class TestItemGeneralizationCost:
     def test_degenerate_universe(self):
         assert item_generalization_cost("(a,b)", universe_size=1) == 0.0
 
+    def test_root_label_costs_one_without_hierarchy(self):
+        # Regression: on the hierarchy-free COAT/PCTA path the root label "*"
+        # used to resolve to an empty set and be charged 0 instead of 1.
+        assert item_generalization_cost(
+            "*", universe_size=5, universe={"a", "b", "c", "d", "e"}
+        ) == pytest.approx(1.0)
+
 
 class TestUtilityLoss:
     def test_identity_has_zero_loss(self, original):
@@ -66,6 +73,27 @@ class TestUtilityLoss:
         shorter = original.subset(range(len(original) - 1))
         with pytest.raises(DatasetError):
             utility_loss(original, shorter)
+
+    def test_root_generalization_has_full_loss_without_hierarchy(self, original):
+        # Regression: generalizing every item to the root "*" destroys all
+        # utility, so UL must be 1.0 even when no hierarchy is supplied (the
+        # COAT/PCTA path).  The root label used to be charged 0.
+        rooted = rewrite_items(
+            original, {item: "*" for item in original.item_universe()}
+        )
+        assert utility_loss(original, rooted) == pytest.approx(1.0)
+
+    def test_universe_less_interpreter_rejected(self, original):
+        from repro.index import interpreter_for
+
+        with pytest.raises(DatasetError):
+            utility_loss(original, original, interpreter=interpreter_for(None))
+
+    def test_root_generalization_not_counted_as_suppression(self, original):
+        rooted = rewrite_items(
+            original, {item: "*" for item in original.item_universe()}
+        )
+        assert suppression_ratio(original, rooted) == 0.0
 
 
 class TestSuppressionRatio:
