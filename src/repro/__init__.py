@@ -7,9 +7,12 @@ The package is organised in layers (see ``DESIGN.md``):
 * :mod:`repro.hierarchy` — generalization hierarchies and lattices,
 * :mod:`repro.policies` — privacy and utility policies (COAT/PCTA),
 * :mod:`repro.queries` — query workloads and Average Relative Error,
+* :mod:`repro.columnar` — the bitset/columnar kernel layer: tokenized item
+  vocabularies, CSR item columns and dense ``uint64`` posting bitsets with
+  popcount kernels (see ``docs/columnar.md``),
 * :mod:`repro.index` — the interpretation index: shared, memoized
   label→leaves/cost resolution (:class:`~repro.index.LabelInterpreter`) and
-  item posting lists with memoized group unions
+  bitset-backed item posting lists with memoized group unions
   (:class:`~repro.index.InvertedIndex`); the metric, query and
   constraint-algorithm hot paths all run on it,
 * :mod:`repro.metrics` — information-loss metrics and privacy verification,

@@ -120,8 +120,10 @@ class Coat(Anonymizer):
                         utility_constraint = self.utility_policy.constraint_for(item)
                         if utility_constraint is None or len(utility_constraint) <= 1:
                             continue
-                        widened = index.union(utility_constraint.items - suppressed)
-                        gain = len(widened) - index.frequency(item)
+                        # Size-only query: stays in the bitset domain, no
+                        # record-set materialization.
+                        widened = index.union_size(utility_constraint.items - suppressed)
+                        gain = widened - index.frequency(item)
                         if best_item is None or gain > best_gain:
                             best_item = item
                             best_gain = gain

@@ -116,15 +116,20 @@ class Pcta(Anonymizer):
                 source = clusters[source_id]
                 candidates = sorted(
                     (identifier for identifier in clusters if identifier != source_id),
-                    key=lambda identifier: -len(index.union(clusters[identifier])),
+                    key=lambda identifier: -index.union_size(clusters[identifier]),
                 )[: self.merge_candidates]
 
                 best_choice = None
                 best_score = None
-                source_records = index.union(source - suppressed)
+                # Size-only queries: merge scoring stays in the bitset domain,
+                # no record-set materialization.
+                source_key = source - suppressed
+                source_support = index.union_size(source_key)
                 for identifier in candidates:
-                    candidate_records = index.union(clusters[identifier] - suppressed)
-                    gain = len(candidate_records | source_records) - len(source_records)
+                    merged_support = index.merged_union_size(
+                        clusters[identifier] - suppressed, source_key
+                    )
+                    gain = merged_support - source_support
                     if gain <= 0:
                         continue
                     cost = len(clusters[identifier]) + len(source)

@@ -1,0 +1,47 @@
+"""Columnar / bitset kernel layer for transaction attributes.
+
+The row-oriented :class:`~repro.datasets.dataset.Dataset` stores itemsets as
+per-record ``frozenset`` values — the right shape for anonymization
+algorithms that group and rewrite *records*, and the wrong shape for the
+set-algebra hot loops (posting-list unions, constraint support, utility
+loss).  This package supplies the compact, vectorizable twin:
+
+* :class:`ItemVocabulary` — ``item → token id`` over the sorted item universe,
+* :class:`TransactionColumn` — a CSR-style tokenized item column
+  (``indptr``/``tokens`` arrays) with lazily cached derived structures,
+* :mod:`repro.columnar.bitset` — dense ``uint64`` posting bitsets with
+  popcount-based union/intersection/support kernels.
+
+``Dataset.columnar()`` builds and caches one :class:`TransactionColumn` per
+transaction attribute; :class:`repro.index.InvertedIndex` and the transaction
+metrics run on it.  See ``docs/columnar.md`` for the layout and
+materialization rules.
+"""
+
+from repro.columnar.bitset import (
+    WORD_BITS,
+    bitset_from_indices,
+    empty_bitset,
+    indices_of,
+    popcount,
+    popcount_rows,
+    posting_matrix,
+    union_rows,
+    word_count,
+)
+from repro.columnar.column import TransactionColumn
+from repro.columnar.vocabulary import ItemVocabulary
+
+__all__ = [
+    "WORD_BITS",
+    "ItemVocabulary",
+    "TransactionColumn",
+    "bitset_from_indices",
+    "empty_bitset",
+    "indices_of",
+    "popcount",
+    "popcount_rows",
+    "posting_matrix",
+    "union_rows",
+    "word_count",
+]

@@ -1,0 +1,162 @@
+"""CSR-style tokenized view of one transaction attribute.
+
+A :class:`TransactionColumn` is the columnar twin of the row-oriented
+``Record`` storage: the attribute's itemsets are tokenized against an
+:class:`~repro.columnar.vocabulary.ItemVocabulary` and laid out as two flat
+arrays — ``indptr`` (``int64``, ``n_records + 1`` row offsets) and ``tokens``
+(``int32``, one entry per item occurrence) — exactly a CSR sparse-matrix
+pattern.  Derived structures the hot paths need are computed lazily and
+cached on the column:
+
+* :meth:`bitset_postings` — per-token record bitsets (the inverted index),
+* :meth:`occurrence_join` — the record-aligned (occurrence, label) pair
+  expansion the transaction metrics reduce over with ``minimum.reduceat``.
+
+A column is a snapshot: :meth:`repro.datasets.dataset.Dataset.columnar`
+caches one per attribute and drops it on any dataset mutation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.columnar.bitset import posting_matrix
+from repro.columnar.vocabulary import ItemVocabulary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset ↔ columnar)
+    from repro.datasets.dataset import Dataset
+
+
+class TransactionColumn:
+    """Tokenized CSR layout of a transaction attribute plus cached kernels."""
+
+    __slots__ = (
+        "vocabulary",
+        "indptr",
+        "tokens",
+        "attribute",
+        "_postings",
+        "_join",
+    )
+
+    def __init__(
+        self,
+        vocabulary: ItemVocabulary,
+        indptr: np.ndarray,
+        tokens: np.ndarray,
+        attribute: str = "",
+    ):
+        self.vocabulary = vocabulary
+        self.indptr = indptr
+        self.tokens = tokens
+        self.attribute = attribute
+        self._postings: np.ndarray | None = None
+        self._join: tuple["TransactionColumn", tuple] | None = None
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: "Dataset", attribute: str | None = None
+    ) -> "TransactionColumn":
+        """Tokenize ``attribute`` of ``dataset`` (default: its only transaction one)."""
+        attribute = attribute or dataset.single_transaction_attribute()
+        itemsets = [record[attribute] for record in dataset]
+        vocabulary = ItemVocabulary(
+            item for itemset in itemsets for item in itemset
+        )
+        lookup = vocabulary.token
+        indptr = np.zeros(len(itemsets) + 1, dtype=np.int64)
+        chunks: list[list[int]] = []
+        offset = 0
+        for position, itemset in enumerate(itemsets):
+            row = [lookup(item) for item in itemset]
+            offset += len(row)
+            indptr[position + 1] = offset
+            chunks.append(row)
+        tokens = np.fromiter(
+            (token for row in chunks for token in row),
+            dtype=np.int32,
+            count=offset,
+        )
+        return cls(vocabulary, indptr, tokens, attribute=attribute)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionColumn(attribute={self.attribute!r}, "
+            f"records={self.n_records}, items={len(self.vocabulary)}, "
+            f"occurrences={self.total_items})"
+        )
+
+    @property
+    def n_records(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def total_items(self) -> int:
+        """Total item occurrences (sum of itemset sizes)."""
+        return len(self.tokens)
+
+    def row_lengths(self) -> np.ndarray:
+        """Itemset size per record."""
+        return np.diff(self.indptr)
+
+    def row_tokens(self, index: int) -> np.ndarray:
+        """Token ids of record ``index`` (a view into the CSR array)."""
+        return self.tokens[self.indptr[index] : self.indptr[index + 1]]
+
+    def record_ids(self) -> np.ndarray:
+        """The record index of every occurrence (parallel to ``tokens``)."""
+        return np.repeat(np.arange(self.n_records, dtype=np.int64), self.row_lengths())
+
+    def bitset_postings(self) -> np.ndarray:
+        """Per-token posting bitsets: ``(n_items, ceil(n_records/64))`` ``uint64``."""
+        if self._postings is None:
+            self._postings = posting_matrix(
+                self.tokens, self.record_ids(), len(self.vocabulary), self.n_records
+            )
+        return self._postings
+
+    def occurrence_join(
+        self, source: "TransactionColumn"
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Record-aligned cross join of ``source`` occurrences with this column.
+
+        For every item occurrence of ``source`` record ``r``, pair it with
+        every token of *this* column's record ``r``.  Returns
+        ``(flat, segment_starts, unpaired)``:
+
+        * ``flat`` — per pair, ``this_token * len(source.vocabulary) +
+          source_token``, ready to gather from the raveled charge matrix of a
+          ``(len(self.vocabulary), len(source.vocabulary))`` table,
+        * ``segment_starts`` — start offset of each paired occurrence's pair
+          segment (for ``ufunc.reduceat`` reductions),
+        * ``unpaired`` — occurrences of records whose row here is empty.
+
+        The join depends only on the two CSR layouts, so it is cached per
+        ``source`` column (the repeated-metric-evaluation regime).  Both
+        columns must cover the same records in the same order.
+        """
+        cached = self._join
+        if cached is not None and cached[0] is source:
+            return cached[1]
+        source_lengths = source.row_lengths()
+        own_lengths = self.row_lengths()
+        pairs_per_occurrence = np.repeat(own_lengths, source_lengths)
+        paired = pairs_per_occurrence > 0
+        unpaired = int(np.count_nonzero(~paired))
+        counts = pairs_per_occurrence[paired]
+        segment_starts = np.cumsum(counts) - counts
+        total = int(counts.sum())
+        own_row_starts = np.repeat(self.indptr[:-1], source_lengths)[paired]
+        positions = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(segment_starts, counts)
+            + np.repeat(own_row_starts, counts)
+        )
+        flat = self.tokens[positions].astype(np.int64) * len(
+            source.vocabulary
+        ) + np.repeat(source.tokens.astype(np.int64)[paired], counts)
+        result = (flat, segment_starts, unpaired)
+        self._join = (source, result)
+        return result

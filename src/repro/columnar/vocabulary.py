@@ -1,0 +1,67 @@
+"""Item vocabulary: a bidirectional item ↔ token-id mapping.
+
+Tokenizing the item universe once turns every downstream kernel — posting
+bitsets, CSR token columns, cost/weight vectors — into integer array work.
+Tokens are assigned in sorted item order so that a vocabulary is a pure
+function of the item set (two datasets with the same universe tokenize
+identically).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class ItemVocabulary:
+    """Immutable ``item → token id`` mapping over a sorted item universe."""
+
+    __slots__ = ("_items", "_tokens")
+
+    def __init__(self, items: Iterable[str]):
+        self._items: tuple[str, ...] = tuple(sorted({str(item) for item in items}))
+        self._tokens: dict[str, int] = {
+            item: token for token, item in enumerate(self._items)
+        }
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._tokens
+
+    def __repr__(self) -> str:
+        return f"ItemVocabulary(items={len(self._items)})"
+
+    @property
+    def items(self) -> tuple[str, ...]:
+        """All items in token order (``items[token]`` inverts :meth:`token`)."""
+        return self._items
+
+    def token(self, item: str) -> int | None:
+        """The token id of ``item`` (``None`` for unknown items)."""
+        return self._tokens.get(str(item))
+
+    def item(self, token: int) -> str:
+        """The item of a token id."""
+        return self._items[token]
+
+    def tokens_for(self, items: Iterable[str]) -> np.ndarray:
+        """Token ids of the known members of ``items`` (unknown items dropped)."""
+        lookup = self._tokens
+        return np.fromiter(
+            (
+                token
+                for token in (lookup.get(str(item)) for item in items)
+                if token is not None
+            ),
+            dtype=np.int64,
+        )
+
+    def universe(self) -> set[str]:
+        """A fresh mutable set of all items (the dataset's item universe)."""
+        return set(self._items)

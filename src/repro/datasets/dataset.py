@@ -141,6 +141,8 @@ class Dataset:
         self._schema = schema if isinstance(schema, Schema) else Schema(schema)
         self.name = name
         self._records: list[Record] = []
+        #: attribute -> cached TransactionColumn; dropped on any mutation.
+        self._columnar: dict[str, Any] = {}
         for row in records:
             self.append(row)
 
@@ -235,13 +237,42 @@ class Dataset:
         return names[0]
 
     def item_universe(self, attribute: str | None = None) -> set[str]:
-        """The set of all items appearing in a transaction attribute."""
+        """The set of all items appearing in a transaction attribute.
+
+        When a columnar view of the attribute has been built (see
+        :meth:`columnar`) its vocabulary is reused instead of re-scanning
+        every record.
+        """
         attribute = attribute or self.single_transaction_attribute()
         self._require_attribute(attribute)
+        column = self._columnar.get(attribute)
+        if column is not None:
+            return column.vocabulary.universe()
         universe: set[str] = set()
         for record in self._records:
             universe.update(record[attribute])
         return universe
+
+    def columnar(self, attribute: str | None = None):
+        """The cached :class:`~repro.columnar.column.TransactionColumn` view.
+
+        Built on first use per transaction attribute and invalidated by any
+        dataset mutation; the inverted index and the transaction metrics run
+        their kernels on this view.
+        """
+        from repro.columnar import TransactionColumn
+
+        attribute = attribute or self.single_transaction_attribute()
+        self._require_attribute(attribute)
+        if not self._schema[attribute].is_transaction:
+            raise SchemaError(
+                f"attribute {attribute!r} is not a transaction attribute"
+            )
+        column = self._columnar.get(attribute)
+        if column is None:
+            column = TransactionColumn.from_dataset(self, attribute)
+            self._columnar[attribute] = column
+        return column
 
     def domain(self, name: str) -> list[Any]:
         """Sorted distinct values of a relational attribute."""
@@ -280,12 +311,14 @@ class Dataset:
             raw = values.get(attribute.name)
             normalised[attribute.name] = _normalise_cell(attribute, raw)
         self._records.append(Record(normalised))
+        self._columnar.clear()
 
     def remove_record(self, index: int) -> None:
         try:
             del self._records[index]
         except IndexError:
             raise DatasetError(f"no record at index {index}") from None
+        self._columnar.clear()
 
     def set_value(self, index: int, name: str, value: Any) -> None:
         """Set attribute ``name`` of record ``index`` to ``value``."""
@@ -295,6 +328,7 @@ class Dataset:
         except IndexError:
             raise DatasetError(f"no record at index {index}") from None
         record._set(name, _normalise_cell(self._schema[name], value))
+        self._columnar.pop(name, None)
 
     def add_attribute(
         self,
@@ -313,22 +347,31 @@ class Dataset:
         for position, record in enumerate(self._records):
             raw = values[position] if values is not None else default
             record._set(attribute.name, _normalise_cell(attribute, raw))
+        self._columnar.pop(attribute.name, None)
 
     def remove_attribute(self, name: str) -> None:
         """Drop a column from the schema and every record."""
         self._schema = self._schema.without_attribute(name)
         for record in self._records:
             record._delete(name)
+        self._columnar.pop(name, None)
 
     def rename_attribute(self, old_name: str, new_name: str) -> None:
         """Rename a column in the schema and every record."""
         self._schema = self._schema.renamed(old_name, new_name)
         for record in self._records:
             record._rename(old_name, new_name)
+        self._columnar.pop(old_name, None)
+        self._columnar.pop(new_name, None)
 
     # -- transformation -----------------------------------------------------------
     def copy(self, name: str | None = None) -> "Dataset":
-        """A deep copy of the dataset (records are copied, values shared)."""
+        """An independent copy: fresh ``Record`` containers over shared cell values.
+
+        Mutating the copy (or the original) never affects the other; the cell
+        values themselves are safe to share because they are immutable
+        (strings, numbers, ``frozenset`` itemsets).
+        """
         clone = Dataset(self._schema, name=name or self.name)
         clone._records = [Record(record.as_dict()) for record in self._records]
         return clone
@@ -368,6 +411,7 @@ class Dataset:
         attribute = self._schema[name]
         for record in self._records:
             record._set(name, _normalise_cell(attribute, transform(record[name])))
+        self._columnar.pop(name, None)
 
     def to_rows(self) -> list[list[Any]]:
         """Positional rows aligned with the schema order (deep copies)."""

@@ -48,14 +48,17 @@ class MethodEvaluator:
         dataset: Dataset,
         resources: ExperimentResources | None = None,
         verify_privacy: bool = True,
-        km_check_limit: int = 40,
+        km_check_limit: int = 128,
     ):
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
         self.verify_privacy = verify_privacy
-        #: k^m / (k,k^m) verification is exponential in the universe size; it
-        #: is skipped (reported as ``None``) when the item universe exceeds
-        #: this limit, exactly like a GUI would avoid freezing on huge data.
+        #: k^m / (k,k^m) verification enumerates item combinations, so it is
+        #: skipped (reported as ``None``) when the item universe exceeds this
+        #: limit, exactly like a GUI would avoid freezing on huge data.  The
+        #: bitset-backed checker (one AND + popcount per combination, with
+        #: zero-support pruning) verifies far larger universes than the
+        #: per-record scans it replaced, so the default is generous.
         self.km_check_limit = km_check_limit
 
     # -- indicator computation ----------------------------------------------------

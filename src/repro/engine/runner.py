@@ -5,9 +5,11 @@ Anonymization Module" and collects their results.  The pure-Python equivalent
 offers three execution modes:
 
 * ``"sequential"`` — the default: one task after another in this process,
-* ``"thread"`` — a thread pool; because the algorithms are CPU-bound Python
-  code this mostly helps when the per-task work releases the GIL (NumPy) or
-  produces results incrementally,
+* ``"thread"`` — a thread pool.  The support/union/metric kernels now run as
+  NumPy bitset and gather operations (:mod:`repro.columnar`), which release
+  the GIL for the duration of each array pass — so constraint-heavy
+  COAT/PCTA tasks and metric evaluations genuinely overlap in thread mode,
+  while the remaining pure-Python bookkeeping still serialises,
 * ``"process"`` — a process pool that actually fans CPU-bound anonymization
   out across cores.  The worker callable and every task/result must be
   picklable (module-level functions, not closures or lambdas).

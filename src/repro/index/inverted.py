@@ -2,16 +2,33 @@
 
 The constraint-based transaction algorithms (COAT, PCTA) spend almost all of
 their time asking *"which records could contain an item of this group?"* —
-the union of the group members' posting lists.  The same groups recur across
-constraint iterations, so :class:`InvertedIndex` memoizes unions by the
-(frozen) item group.  The memoization is pure: a cached union is exactly the
-union that would be recomputed, so algorithm outputs are unchanged.
+the union of the group members' posting lists.  Since PR 2 the postings are
+stored as dense ``uint64`` bitsets (:mod:`repro.columnar.bitset`): a group
+union is a vectorized word-wise OR, constraint support is ANDs plus a
+popcount, and the record *sets* the PR 1 API promised (``postings()``,
+``union()`` returning ``frozenset``) are materialized lazily and memoized, so
+callers that only need supports/sizes never pay for boxing record ids.
+
+The same groups recur across constraint iterations, so the per-group union
+bitsets and materialized frozensets are memoized by the (frozen) item group.
+The memoization is pure: a cached union is exactly the union that would be
+recomputed, so algorithm outputs are unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+import numpy as np
+
+from repro.columnar.bitset import (
+    bitset_from_indices,
+    indices_of,
+    popcount,
+    popcount_rows,
+    union_rows,
+    word_count,
+)
 from repro.datasets.dataset import Dataset
 from repro.index.interpreter import evict_when_full
 
@@ -19,7 +36,7 @@ _EMPTY: frozenset[int] = frozenset()
 
 
 class InvertedIndex:
-    """Per-item posting lists over one transaction attribute.
+    """Per-item posting bitsets over one transaction attribute.
 
     ``cached=False`` disables union memoization (every union is recomputed);
     it exists so tests can verify the memoization changes nothing.
@@ -31,77 +48,154 @@ class InvertedIndex:
         n_records: int = 0,
         cached: bool = True,
     ):
-        self._postings: dict[str, frozenset[int]] = {
-            str(item): frozenset(records) for item, records in postings.items()
+        materialized = {
+            str(item): frozenset(int(i) for i in records)
+            for item, records in postings.items()
         }
+        capacity = int(n_records)
+        for records in materialized.values():
+            if records:
+                capacity = max(capacity, max(records) + 1)
+        items = sorted(materialized)
+        bits = np.zeros((len(items), word_count(capacity)), dtype=np.uint64)
+        for token, item in enumerate(items):
+            bits[token] = bitset_from_indices(materialized[item], capacity)
+        self._init_from_bits(items, bits, n_records=n_records, cached=cached)
+        # The constructor was handed the record sets already; keep them so
+        # postings() needs no re-materialization on this path.
+        self._posting_sets = materialized
+
+    def _init_from_bits(
+        self,
+        items: list[str],
+        bits: np.ndarray,
+        n_records: int,
+        cached: bool,
+    ) -> None:
+        self._items = items
+        self._token: dict[str, int] = {item: t for t, item in enumerate(items)}
+        self._bits = bits
+        self._frequencies = popcount_rows(bits) if len(items) else np.zeros(0, np.int64)
         self.n_records = n_records
         self._cached = cached
-        self._unions: dict[frozenset, frozenset[int]] = {}
+        self._posting_sets: dict[str, frozenset[int]] = {}
+        self._union_bits_memo: dict[frozenset, np.ndarray] = {}
+        self._union_sets: dict[frozenset, frozenset[int]] = {}
 
     @classmethod
     def from_dataset(
         cls, dataset: Dataset, attribute: str | None = None, cached: bool = True
     ) -> "InvertedIndex":
-        """Build the index of ``attribute`` (default: the only transaction one)."""
-        attribute = attribute or dataset.single_transaction_attribute()
-        postings: dict[str, set[int]] = {}
-        for index, record in enumerate(dataset):
-            for item in record[attribute]:
-                postings.setdefault(item, set()).add(index)
-        return cls(postings, n_records=len(dataset), cached=cached)
+        """Build the index of ``attribute`` (default: the only transaction one).
+
+        Construction goes through the dataset's cached columnar view
+        (:meth:`~repro.datasets.dataset.Dataset.columnar`): the CSR token
+        column is scattered into posting bitsets in one vectorized pass.
+        """
+        column = dataset.columnar(attribute)
+        index = cls.__new__(cls)
+        index._init_from_bits(
+            list(column.vocabulary.items),
+            column.bitset_postings(),
+            n_records=column.n_records,
+            cached=cached,
+        )
+        return index
 
     def __repr__(self) -> str:
         return (
-            f"InvertedIndex(items={len(self._postings)}, "
-            f"records={self.n_records}, cached_unions={len(self._unions)})"
+            f"InvertedIndex(items={len(self._items)}, "
+            f"records={self.n_records}, cached_unions={len(self._union_bits_memo)})"
         )
 
     def __contains__(self, item: object) -> bool:
-        return item in self._postings
+        return item in self._token
 
     def __len__(self) -> int:
-        return len(self._postings)
+        return len(self._items)
 
     @property
     def universe(self) -> frozenset[str]:
         """All indexed items."""
-        return frozenset(self._postings)
+        return frozenset(self._items)
 
     def postings(self, item: str) -> frozenset[int]:
         """Records containing ``item`` (empty for unknown items)."""
-        return self._postings.get(item, _EMPTY)
+        cached = self._posting_sets.get(item)
+        if cached is not None:
+            return cached
+        token = self._token.get(item)
+        if token is None:
+            return _EMPTY
+        records = frozenset(int(i) for i in indices_of(self._bits[token]))
+        self._posting_sets[item] = records
+        return records
 
     def frequency(self, item: str) -> int:
         """Support of a single item."""
-        return len(self._postings.get(item, _EMPTY))
+        token = self._token.get(item)
+        return int(self._frequencies[token]) if token is not None else 0
+
+    def _group_bits(self, key: frozenset) -> np.ndarray:
+        """The union bitset of an item group (memoized when caching is on)."""
+        if self._cached:
+            cached = self._union_bits_memo.get(key)
+            if cached is not None:
+                return cached
+        lookup = self._token
+        tokens = [lookup[item] for item in key if item in lookup]
+        bits = union_rows(self._bits, np.asarray(tokens, dtype=np.int64))
+        if self._cached:
+            evict_when_full(self._union_bits_memo)
+            self._union_bits_memo[key] = bits
+        return bits
+
+    @staticmethod
+    def _as_key(items: Iterable[str]) -> frozenset:
+        return items if isinstance(items, frozenset) else frozenset(items)
 
     def union(self, items: Iterable[str]) -> frozenset[int]:
         """Records containing *any* item of the group (memoized per group)."""
-        key = items if isinstance(items, frozenset) else frozenset(items)
+        key = self._as_key(items)
         if self._cached:
-            cached = self._unions.get(key)
+            cached = self._union_sets.get(key)
             if cached is not None:
                 return cached
-        combined: set[int] = set()
-        for item in key:
-            combined |= self._postings.get(item, _EMPTY)
-        result = frozenset(combined)
+        result = frozenset(int(i) for i in indices_of(self._group_bits(key)))
         if self._cached:
-            evict_when_full(self._unions)
-            self._unions[key] = result
+            evict_when_full(self._union_sets)
+            self._union_sets[key] = result
         return result
+
+    def union_size(self, items: Iterable[str]) -> int:
+        """``len(union(items))`` without materializing the record set."""
+        return popcount(self._group_bits(self._as_key(items)))
+
+    def merged_union_size(
+        self, items_a: Iterable[str], items_b: Iterable[str]
+    ) -> int:
+        """``len(union(items_a) | union(items_b))`` in the bitset domain.
+
+        The PCTA merge scorer uses this to rate a candidate cluster merge
+        without building either record set.
+        """
+        bits_a = self._group_bits(self._as_key(items_a))
+        bits_b = self._group_bits(self._as_key(items_b))
+        return popcount(bits_a | bits_b)
 
     def joint_support(self, groups: Iterable[Iterable[str]]) -> int:
         """Records containing an item of *every* group (0 for no groups).
 
         This is the support computation of COAT/PCTA privacy constraints:
         each constraint item is represented by its current group, and a record
-        supports the constraint when it intersects every group.
+        supports the constraint when it intersects every group.  The whole
+        computation stays in the bitset domain: OR per group (memoized), AND
+        across groups, one popcount at the end.
         """
-        covering: frozenset[int] | None = None
+        covering: np.ndarray | None = None
         for group in groups:
-            records = self.union(group)
-            covering = records if covering is None else covering & records
-            if not covering:
+            bits = self._group_bits(self._as_key(group))
+            covering = bits if covering is None else covering & bits
+            if not covering.any():
                 return 0
-        return len(covering) if covering is not None else 0
+        return popcount(covering) if covering is not None else 0

@@ -15,18 +15,27 @@ suite and (optionally) by the engine after each run.
 * (*k*, *k*:sup:`m`)-anonymity for RT-datasets (Poulis et al. 2013): the
   relational part is *k*-anonymous and, within every relational equivalence
   class, the transaction part is *k*:sup:`m`-anonymous.
+
+The *k*:sup:`m` check runs on the interpretation index and the bitset layer:
+labels resolve to leaf sets through the memoized
+:func:`repro.index.interpreter_for` (once per *distinct* itemset instead of
+per record per label), per-item candidate bitsets are packed once, and each
+item combination costs one word-wise AND plus a popcount — with zero-support
+prefixes pruned, since their supersets cannot violate.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.columnar.bitset import popcount, posting_matrix
 from repro.datasets.dataset import Dataset
 from repro.exceptions import DatasetError
 from repro.hierarchy.hierarchy import Hierarchy
-from repro.metrics.interpretation import label_leaves
+from repro.index import interpreter_for
 
 
 # -- relational: k-anonymity ---------------------------------------------------
@@ -71,11 +80,18 @@ def candidate_support(
     """Number of records whose itemsets could contain all of ``items``."""
     attribute = attribute or dataset.single_transaction_attribute()
     items = [str(item) for item in items]
+    interpreter = interpreter_for(hierarchy, universe)
+    covered_cache: dict[frozenset, frozenset[str]] = {}
     support = 0
     for record in dataset:
-        covered: set[str] = set()
-        for label in record[attribute]:
-            covered.update(label_leaves(str(label), hierarchy, universe=universe))
+        labels = record[attribute]
+        covered = covered_cache.get(labels)
+        if covered is None:
+            resolved: set[str] = set()
+            for label in labels:
+                resolved |= interpreter.leaves(label)
+            covered = frozenset(resolved)
+            covered_cache[labels] = covered
         if all(item in covered for item in items):
             support += 1
     return support
@@ -109,32 +125,77 @@ def km_violations(
     attribute = attribute or dataset.single_transaction_attribute()
 
     if universe is None:
+        unrestricted = interpreter_for(hierarchy)
         derived: set[str] = set()
         for record in dataset:
             for label in record[attribute]:
-                derived.update(label_leaves(str(label), hierarchy))
+                derived |= unrestricted.leaves(label)
         universe = derived
     universe_set = {str(item) for item in universe}
     ordered = sorted(universe_set)
+    token_of = {item: token for token, item in enumerate(ordered)}
 
-    # Pre-compute each record's covered original items once.
-    covered_sets = []
-    for record in dataset:
-        covered: set[str] = set()
-        for label in record[attribute]:
-            covered.update(label_leaves(str(label), hierarchy, universe=universe_set))
-        covered_sets.append(covered & universe_set)
+    # Pack each item's candidate records (records whose covered leaf set
+    # contains the item) into one bitset row; itemset resolution is memoized
+    # per distinct itemset by the shared interpreter.
+    interpreter = interpreter_for(hierarchy, universe_set)
+    itemset_tokens: dict[frozenset, np.ndarray] = {}
+    token_chunks: list[np.ndarray] = []
+    record_chunks: list[np.ndarray] = []
+    for position, record in enumerate(dataset):
+        labels = record[attribute]
+        tokens = itemset_tokens.get(labels)
+        if tokens is None:
+            covered = interpreter.covered_items(labels)
+            tokens = np.fromiter(
+                (token_of[item] for item in covered),
+                dtype=np.int64,
+                count=len(covered),
+            )
+            itemset_tokens[labels] = tokens
+        if tokens.size:
+            token_chunks.append(tokens)
+            record_chunks.append(np.full(tokens.size, position, dtype=np.int64))
+    candidates = posting_matrix(
+        np.concatenate(token_chunks) if token_chunks else np.empty(0, np.int64),
+        np.concatenate(record_chunks) if record_chunks else np.empty(0, np.int64),
+        len(ordered),
+        len(dataset),
+    )
 
     violations: list[KmViolation] = []
-    for size in range(1, m + 1):
-        for combination in itertools.combinations(ordered, size):
-            support = sum(
-                1 for covered in covered_sets if covered.issuperset(combination)
+    limit = max_violations if max_violations is not None else -1
+
+    def scan(prefix_bits, start: int, remaining: int, prefix: tuple[str, ...]) -> bool:
+        """Extend ``prefix`` by every item from ``start`` on; True = limit hit."""
+        for token in range(start, len(ordered) - remaining + 1):
+            bits = (
+                candidates[token]
+                if prefix_bits is None
+                else prefix_bits & candidates[token]
             )
-            if 0 < support < k:
-                violations.append(KmViolation(items=combination, support=support))
-                if max_violations is not None and len(violations) >= max_violations:
-                    return violations
+            if remaining == 1:
+                support = popcount(bits)
+                if 0 < support < k:
+                    violations.append(
+                        KmViolation(items=prefix + (ordered[token],), support=support)
+                    )
+                    if limit >= 0 and len(violations) >= limit:
+                        return True
+            else:
+                # A zero-support prefix cannot produce a violation: all of
+                # its supersets have support 0 as well.
+                if not bits.any():
+                    continue
+                if scan(bits, token + 1, remaining - 1, prefix + (ordered[token],)):
+                    return True
+        return False
+
+    # Enumerate by combination size (then lexicographically), matching the
+    # order of the original itertools.combinations scan.
+    for size in range(1, m + 1):
+        if scan(None, 0, size, ()):
+            return violations
     return violations
 
 

@@ -15,12 +15,18 @@ SECRETA integrates:
   screen, Figure 3(d)).
 
 All measures run on the shared interpretation index
-(:mod:`repro.index`): label resolution and the per-itemset aggregates are
+(:mod:`repro.index`): label resolution and the per-label aggregates are
 memoized per (hierarchy, universe) pair instead of being re-derived per
-record per label.
+record per label.  The per-record accumulation itself runs on the columnar
+layer (:mod:`repro.columnar`): charges are resolved once per *distinct
+anonymized label* into a ``(label, original item)`` charge matrix, and the
+per-occurrence "cheapest covering label" reduction becomes one vectorized
+``minimum.reduceat`` over record-wise (occurrence, label) pairs.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.datasets.dataset import Dataset
 from repro.datasets.statistics import value_frequencies
@@ -28,6 +34,15 @@ from repro.exceptions import DatasetError
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.index import LabelInterpreter, generalization_cost, interpreter_for
 from repro.metrics.interpretation import label_leaves
+
+#: Guards for the vectorized metric path.  The dense (anonymized label ×
+#: original item) charge matrix and the expanded (occurrence, label) pair
+#: arrays are linear-memory wins for every realistic output, but adversarial
+#: shapes (a vocabulary of millions, records holding thousands of labels)
+#: could blow them up — past these bounds the metrics fall back to the exact
+#: per-record interpreter loop.
+_MAX_CHARGE_MATRIX_CELLS = 8_000_000
+_MAX_OCCURRENCE_PAIRS = 16_000_000
 
 
 def _require_universe(interpreter: LabelInterpreter) -> None:
@@ -63,6 +78,55 @@ def item_generalization_cost(
     return generalization_cost(size, universe_size)
 
 
+def _occurrence_charge_sum(
+    original: Dataset,
+    anonymized: Dataset,
+    attribute: str,
+    charge_for_label,
+) -> tuple[float, int] | None:
+    """Sum, over original item occurrences, the cheapest covering-label charge.
+
+    ``charge_for_label(label)`` maps one distinct anonymized label to
+    ``(covered original items, charge)``.  An occurrence of original item
+    ``i`` in record ``r`` is charged ``min(1, min over labels of r covering
+    i)`` — 1 when no label covers it.  The reduction is vectorized: a dense
+    ``(anonymized label, original item)`` charge matrix (uncovered = +inf), a
+    record-wise (occurrence, label) pair expansion, and one
+    ``minimum.reduceat`` per-occurrence segment reduction.
+
+    Returns ``(sum, occurrences)``, or ``None`` when the matrix/pair guards
+    trip and the caller must take its exact per-record fallback.
+    """
+    source = original.columnar(attribute)
+    total_items = source.total_items
+    if total_items == 0:
+        return 0.0, 0
+    target = anonymized.columnar(attribute)
+    label_vocabulary = target.vocabulary
+    item_vocabulary = source.vocabulary
+    if len(label_vocabulary) * max(len(item_vocabulary), 1) > _MAX_CHARGE_MATRIX_CELLS:
+        return None
+    if int((source.row_lengths() * target.row_lengths()).sum()) > _MAX_OCCURRENCE_PAIRS:
+        return None
+
+    matrix = np.full((len(label_vocabulary), len(item_vocabulary)), np.inf)
+    for token, label in enumerate(label_vocabulary.items):
+        covered, charge = charge_for_label(label)
+        tokens = item_vocabulary.tokens_for(covered)
+        if tokens.size:
+            matrix[token, tokens] = charge
+
+    # The (occurrence, label) pair expansion is a pure function of the two
+    # CSR layouts; the join is cached on the anonymized column.  Occurrences
+    # whose record lost every label are uncovered: charge 1 each.
+    flat, segment_starts, unpaired = target.occurrence_join(source)
+    value = float(unpaired)
+    if flat.size:
+        cheapest = np.minimum.reduceat(matrix.ravel()[flat], segment_starts)
+        value += float(np.minimum(cheapest, 1.0).sum())
+    return value, total_items
+
+
 def utility_loss(
     original: Dataset,
     anonymized: Dataset,
@@ -82,25 +146,30 @@ def utility_loss(
             "utility_loss expects aligned datasets "
             f"({len(original)} vs {len(anonymized)} records)"
         )
-    total_items = sum(len(record[attribute]) for record in original)
-    if total_items == 0:
-        return 0.0
     if interpreter is None:
+        original.columnar(attribute)  # let item_universe reuse the vocabulary
         interpreter = interpreter_for(hierarchy, original.item_universe(attribute))
     else:
         _require_universe(interpreter)
 
+    def label_cost(label: str):
+        # A label covers its restricted leaves at the (clamped) publication
+        # cost; the reduction picks the most specific covering label and
+        # charges vanished items 1 — exactly interpreter.best_costs.
+        return interpreter.restricted_leaves(label), min(1.0, interpreter.cost(label))
+
+    charged = _occurrence_charge_sum(original, anonymized, attribute, label_cost)
+    if charged is not None:
+        loss, total_items = charged
+        return loss / total_items if total_items else 0.0
+    # Exact per-record fallback for adversarial shapes (see the guards).
+    total_items = sum(len(record[attribute]) for record in original)
     loss = 0.0
     for original_record, anonymized_record in zip(original, anonymized):
-        source_items = original_record[attribute]
-        if not source_items:
-            continue
-        # Charge each original item: 1 if it disappeared, otherwise the cost
-        # of the most specific label that still covers it.
         best_costs = interpreter.best_costs(anonymized_record[attribute])
-        for item in source_items:
+        for item in original_record[attribute]:
             loss += best_costs.get(item, 1.0)
-    return loss / total_items
+    return loss / total_items if total_items else 0.0
 
 
 def suppression_ratio(
@@ -115,9 +184,20 @@ def suppression_ratio(
     if len(original) != len(anonymized):
         raise DatasetError("suppression_ratio expects aligned datasets")
     if interpreter is None:
+        original.columnar(attribute)  # let item_universe reuse the vocabulary
         interpreter = interpreter_for(hierarchy, original.item_universe(attribute))
     else:
         _require_universe(interpreter)
+
+    def label_coverage(label: str):
+        # Covered occurrences cost 0, vanished ones fall through to the
+        # reduction's uncovered default of 1 — counting suppressions.
+        return interpreter.restricted_leaves(label), 0.0
+
+    charged = _occurrence_charge_sum(original, anonymized, attribute, label_coverage)
+    if charged is not None:
+        suppressed, total = charged
+        return suppressed / total if total else 0.0
     total = 0
     suppressed = 0
     for original_record, anonymized_record in zip(original, anonymized):
@@ -139,7 +219,9 @@ def estimated_item_frequencies(
     """Expected support of each original item, estimated from anonymized data.
 
     A record containing the generalized item ``g`` contributes ``1/|leaves(g)|``
-    to every original item ``g`` may stand for (uniformity assumption).
+    to every original item ``g`` may stand for (uniformity assumption).  The
+    estimate decomposes per distinct label: each label contributes its record
+    count (one CSR ``bincount``) times its per-leaf weight.
     """
     attribute = attribute or anonymized.single_transaction_attribute()
     if interpreter is None:
@@ -147,8 +229,19 @@ def estimated_item_frequencies(
     else:
         _require_universe(interpreter)
     estimates = {item: 0.0 for item in universe}
-    for record in anonymized:
-        for item, weight in interpreter.frequency_weights(record[attribute]).items():
+    column = anonymized.columnar(attribute)
+    occurrences = np.bincount(
+        column.tokens, minlength=len(column.vocabulary)
+    )
+    for token, label in enumerate(column.vocabulary.items):
+        count = int(occurrences[token])
+        if count == 0:
+            continue
+        leaves = interpreter.restricted_leaves(label)
+        if not leaves:
+            continue
+        weight = count / len(leaves)
+        for item in leaves:
             # The interpreter works on stringified items (dataset items are
             # always strings); weights whose keys don't appear in the caller's
             # universe are dropped, so an out-of-contract non-string universe
