@@ -24,6 +24,7 @@ from typing import Any, Mapping, Sequence
 from repro.datasets.dataset import Dataset
 from repro.exceptions import ConfigurationError
 from repro.hierarchy.hierarchy import Hierarchy
+from repro.metrics.relational import quasi_identifier_attributes
 
 
 @dataclass
@@ -123,11 +124,7 @@ class Anonymizer(abc.ABC):
 # -- shared helpers ----------------------------------------------------------------
 def relational_quasi_identifiers(dataset: Dataset) -> list[str]:
     """Names of the relational quasi-identifier attributes of ``dataset``."""
-    return [
-        attribute.name
-        for attribute in dataset.schema.relational
-        if attribute.quasi_identifier
-    ]
+    return quasi_identifier_attributes(dataset)
 
 
 def require_hierarchies(

@@ -9,13 +9,17 @@ loss).  This package supplies the compact, vectorizable twin:
 * :class:`ItemVocabulary` — ``item → token id`` over the sorted item universe,
 * :class:`TransactionColumn` — a CSR-style tokenized item column
   (``indptr``/``tokens`` arrays) with lazily cached derived structures,
+* :class:`CategoricalColumn` / :class:`NumericColumn` — the relational twin:
+  one ``int32`` code per record over the column's distinct values (plus a
+  ``float64`` ``NaN``-missing view for numeric attributes),
 * :mod:`repro.columnar.bitset` — dense ``uint64`` posting bitsets with
   popcount-based union/intersection/support kernels.
 
-``Dataset.columnar()`` builds and caches one :class:`TransactionColumn` per
-transaction attribute; :class:`repro.index.InvertedIndex` and the transaction
-metrics run on it.  See ``docs/columnar.md`` for the layout and
-materialization rules.
+``Dataset.columnar()`` builds and caches one column view per attribute
+(transaction or relational); :class:`repro.index.InvertedIndex`, the
+transaction metrics, the relational GCP/NCP and grouping metrics, and the
+greedy-clustering / RT-merge kernels run on it.  See ``docs/columnar.md``
+for the layout and materialization rules.
 """
 
 from repro.columnar.bitset import (
@@ -30,11 +34,14 @@ from repro.columnar.bitset import (
     word_count,
 )
 from repro.columnar.column import TransactionColumn
+from repro.columnar.relational import CategoricalColumn, NumericColumn
 from repro.columnar.vocabulary import ItemVocabulary
 
 __all__ = [
     "WORD_BITS",
+    "CategoricalColumn",
     "ItemVocabulary",
+    "NumericColumn",
     "TransactionColumn",
     "bitset_from_indices",
     "empty_bitset",

@@ -1,0 +1,157 @@
+"""Tokenized views of relational (single-valued) attributes.
+
+The relational twin of :class:`~repro.columnar.column.TransactionColumn`:
+one relational attribute becomes a dense ``int32`` code per record over the
+column's distinct-value vocabulary, so the per-record hot loops — NCP lookup
+tables, equivalence-class grouping, greedy cluster scoring — collapse into
+``np.take`` / ``np.unique`` / comparison passes over flat arrays.
+
+* :class:`CategoricalColumn` — codes over the distinct cell values in
+  first-seen order.  Values keep their Python identity semantics: two cells
+  receive the same code exactly when they are equal as dictionary keys,
+  which is the grouping rule ``Dataset.group_by`` and the per-cell metric
+  memos already use (``25`` and ``25.0`` share a code, ``None`` gets its
+  own).
+* :class:`NumericColumn` — a :class:`CategoricalColumn` plus a ``float64``
+  view with ``NaN`` where a cell is missing or holds a non-numeric
+  (generalized) label, ready for ``fmin``/``fmax`` span kernels.
+
+Like the transaction column, a relational column is a snapshot:
+:meth:`repro.datasets.dataset.Dataset.columnar` caches one per attribute and
+drops it on any dataset mutation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset ↔ columnar)
+    from repro.datasets.dataset import Dataset
+
+
+class CategoricalColumn:
+    """Dense code-per-record view of one relational attribute."""
+
+    __slots__ = ("attribute", "codes", "values", "_index", "_cells", "_string_codes")
+
+    def __init__(
+        self, values: tuple, codes: np.ndarray, attribute: str = "", cells=None
+    ):
+        #: Distinct cell values in code order (``values[code]`` inverts codes).
+        self.values = values
+        #: ``int32`` code of every record's cell, parallel to the records.
+        self.codes = codes
+        self.attribute = attribute
+        self._index: dict | None = None
+        #: Raw per-record cell values (shared references), kept until the
+        #: string-identity view is materialized: dictionary-key equality can
+        #: collapse cells whose string forms differ (``25`` vs ``25.0``), so
+        #: ``string_codes()`` must re-derive identity from the cells.
+        self._cells = cells
+        self._string_codes: tuple[np.ndarray, tuple[str, ...]] | None = None
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: "Dataset", attribute: str
+    ) -> "CategoricalColumn":
+        """Tokenize the cells of ``attribute`` in first-seen order."""
+        cells = [record[attribute] for record in dataset]
+        index: dict = {}
+        codes = np.empty(len(cells), dtype=np.int32)
+        for position, value in enumerate(cells):
+            code = index.get(value)
+            if code is None:
+                code = len(index)
+                index[value] = code
+            codes[position] = code
+        column = cls(tuple(index), codes, attribute=attribute, cells=cells)
+        column._index = index
+        return column
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(attribute={self.attribute!r}, "
+            f"records={self.n_records}, distinct={len(self.values)})"
+        )
+
+    @property
+    def n_records(self) -> int:
+        return len(self.codes)
+
+    def code_of(self, value) -> int | None:
+        """The code of ``value`` (``None`` for values absent from the column)."""
+        if self._index is None:
+            self._index = {value: code for code, value in enumerate(self.values)}
+        return self._index.get(value)
+
+    def take(self, table: np.ndarray) -> np.ndarray:
+        """Gather a per-code lookup ``table`` into a per-record array."""
+        return np.take(table, self.codes)
+
+    def string_codes(self) -> tuple[np.ndarray, tuple[str, ...]]:
+        """Per-record codes over ``str(value)`` identity (cached).
+
+        The clustering and merge cost models compare categorical cells as
+        strings and skip missing ones; this view re-keys the cells on their
+        string form (``str`` identity is neither finer nor coarser than the
+        dictionary-key identity of :attr:`codes`: ``"25"`` and ``25``
+        stringify alike, ``25`` and ``25.0`` do not) and sends ``None`` cells
+        to the sentinel code ``len(labels)``.  Returns ``(codes, labels)``
+        with ``labels`` the distinct strings in code order.
+        """
+        if self._string_codes is None:
+            index: dict[str, int] = {}
+            cells = (
+                self._cells
+                if self._cells is not None
+                else (self.values[code] for code in self.codes)
+            )
+            raw = np.empty(len(self.codes), dtype=np.int64)
+            missing: list[int] = []
+            for position, value in enumerate(cells):
+                if value is None:
+                    missing.append(position)
+                    raw[position] = -1
+                else:
+                    raw[position] = index.setdefault(str(value), len(index))
+            raw[missing] = len(index)
+            self._string_codes = (raw, tuple(index))
+            self._cells = None  # the derived view replaces the raw cells
+        return self._string_codes
+
+
+class NumericColumn(CategoricalColumn):
+    """A categorical code view plus the ``float64`` values of a numeric column.
+
+    ``numbers[r]`` is the cell of record ``r`` as a float, or ``NaN`` when the
+    cell is missing (``None``) or a non-numeric generalized label such as
+    ``"[20-40]"`` — the representation the span kernels (``np.fmin`` /
+    ``np.fmax``, which skip ``NaN``) consume directly.
+    """
+
+    __slots__ = ("numbers",)
+
+    def __init__(
+        self, values: tuple, codes: np.ndarray, attribute: str = "", cells=None
+    ):
+        super().__init__(values, codes, attribute=attribute, cells=cells)
+        per_code = np.fromiter(
+            (
+                float(value) if isinstance(value, (int, float)) else np.nan
+                for value in values
+            ),
+            dtype=np.float64,
+            count=len(values),
+        )
+        self.numbers = (
+            np.take(per_code, codes) if len(values) else np.full(len(codes), np.nan)
+        )
+
+    @classmethod
+    def from_dataset(cls, dataset: "Dataset", attribute: str) -> "NumericColumn":
+        base = CategoricalColumn.from_dataset(dataset, attribute)
+        column = cls(base.values, base.codes, attribute=attribute, cells=base._cells)
+        column._index = base._index
+        return column

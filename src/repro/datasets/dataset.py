@@ -254,23 +254,31 @@ class Dataset:
         return universe
 
     def columnar(self, attribute: str | None = None):
-        """The cached :class:`~repro.columnar.column.TransactionColumn` view.
+        """The cached columnar view of one attribute.
 
-        Built on first use per transaction attribute and invalidated by any
-        dataset mutation; the inverted index and the transaction metrics run
-        their kernels on this view.
+        Transaction attributes yield a
+        :class:`~repro.columnar.column.TransactionColumn` (CSR tokens +
+        posting bitsets); numeric and categorical relational attributes yield
+        a :class:`~repro.columnar.relational.NumericColumn` /
+        :class:`~repro.columnar.relational.CategoricalColumn` (one ``int32``
+        code per record over the distinct cell values).  Each view is built
+        on first use and invalidated by any dataset mutation; the inverted
+        index, the metrics and the clustering/merge kernels run on it.  With
+        no ``attribute`` the dataset's single transaction attribute is used.
         """
-        from repro.columnar import TransactionColumn
+        from repro.columnar import CategoricalColumn, NumericColumn, TransactionColumn
 
         attribute = attribute or self.single_transaction_attribute()
         self._require_attribute(attribute)
-        if not self._schema[attribute].is_transaction:
-            raise SchemaError(
-                f"attribute {attribute!r} is not a transaction attribute"
-            )
         column = self._columnar.get(attribute)
         if column is None:
-            column = TransactionColumn.from_dataset(self, attribute)
+            spec = self._schema[attribute]
+            if spec.is_transaction:
+                column = TransactionColumn.from_dataset(self, attribute)
+            elif spec.is_numeric:
+                column = NumericColumn.from_dataset(self, attribute)
+            else:
+                column = CategoricalColumn.from_dataset(self, attribute)
             self._columnar[attribute] = column
         return column
 

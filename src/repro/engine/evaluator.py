@@ -31,6 +31,7 @@ from repro.metrics.relational import (
     average_class_size,
     discernibility_metric,
     global_certainty_penalty,
+    quasi_identifier_attributes,
 )
 from repro.metrics.transaction import (
     average_item_frequency_error,
@@ -65,11 +66,7 @@ class MethodEvaluator:
     def _relational_attributes(self, config: AnonymizationConfig) -> list[str]:
         if config.relational_attributes is not None:
             return list(config.relational_attributes)
-        return [
-            attribute.name
-            for attribute in self.dataset.schema.relational
-            if attribute.quasi_identifier
-        ]
+        return quasi_identifier_attributes(self.dataset)
 
     def _transaction_attribute(self, config: AnonymizationConfig) -> str | None:
         if config.transaction_attribute:

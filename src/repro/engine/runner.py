@@ -8,7 +8,8 @@ offers three execution modes:
 * ``"thread"`` — a thread pool.  The support/union/metric kernels now run as
   NumPy bitset and gather operations (:mod:`repro.columnar`), which release
   the GIL for the duration of each array pass — so constraint-heavy
-  COAT/PCTA tasks and metric evaluations genuinely overlap in thread mode,
+  COAT/PCTA tasks and metric evaluations genuinely overlap in thread mode
+  (the default worker count follows ``os.cpu_count()``, like process mode),
   while the remaining pure-Python bookkeeping still serialises,
 * ``"process"`` — a process pool that actually fans CPU-bound anonymization
   out across cores.  The worker callable and every task/result must be
@@ -55,9 +56,10 @@ def run_many(
 
     ``mode`` selects the execution backend (see the module docstring); when
     omitted, ``parallel=True`` selects thread mode for backward compatibility.
-    Thread pools default to one worker per task capped at 8; process pools
-    default to one worker per task capped at the CPU count.  Process mode
-    requires ``worker``, the tasks and the results to be picklable.
+    Both pool modes default to one worker per task capped at the CPU count:
+    the thread-mode kernels are GIL-releasing NumPy passes, so threads scale
+    with cores just like processes do.  Process mode requires ``worker``, the
+    tasks and the results to be picklable.
     """
     resolved = resolve_mode(parallel, mode)
     tasks = list(tasks)
@@ -66,7 +68,7 @@ def run_many(
     if resolved == "sequential" or len(tasks) == 1:
         return [worker(task) for task in tasks]
     if resolved == "thread":
-        workers = max_workers or min(len(tasks), 8)
+        workers = max_workers or min(len(tasks), os.cpu_count() or 1)
         with ThreadPoolExecutor(max_workers=workers) as executor:
             return list(executor.map(worker, tasks))
     workers = max_workers or min(len(tasks), os.cpu_count() or 1)

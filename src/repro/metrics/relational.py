@@ -17,11 +17,34 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.datasets.dataset import Dataset
 from repro.exceptions import DatasetError
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.index import LabelInterpreter, evict_when_full, interpreter_for
 from repro.metrics.interpretation import SUPPRESSED
+
+#: Guard for the vectorized scoring path: a per-attribute NCP lookup table
+#: holds one entry per *distinct* anonymized label, which is tiny for every
+#: real anonymization output; past this bound (an adversarial column where
+#: nearly every cell is a distinct unhashed label) the metrics fall back to
+#: the exact per-record loop, mirroring the PR 2 charge-matrix guards.
+_MAX_NCP_TABLE_ENTRIES = 1_000_000
+
+
+def quasi_identifier_attributes(dataset: Dataset) -> list[str]:
+    """Names of the relational quasi-identifier attributes of ``dataset``.
+
+    The shared default for every relational metric (and for the algorithms'
+    attribute selection): score exactly the single-valued columns that
+    participate in the privacy model.
+    """
+    return [
+        attribute.name
+        for attribute in dataset.schema.relational
+        if attribute.quasi_identifier
+    ]
 
 
 def categorical_value_ncp(
@@ -86,11 +109,7 @@ class RelationalLossContext:
     ):
         self.hierarchies = dict(hierarchies or {})
         if attributes is None:
-            attributes = [
-                attribute.name
-                for attribute in original.schema.relational
-                if attribute.quasi_identifier
-            ]
+            attributes = quasi_identifier_attributes(original)
         self.attributes = list(attributes)
         self.numeric_attributes: set[str] = set()
         self.domain_sizes: dict[str, int] = {}
@@ -146,6 +165,41 @@ class RelationalLossContext:
             self.cell_ncp(attribute, record[attribute]) for attribute in self.attributes
         ) / len(self.attributes)
 
+    # -- vectorized dataset scoring ------------------------------------------------
+    def attribute_ncp_values(self, anonymized: Dataset, attribute: str) -> np.ndarray | None:
+        """Per-record NCP of one attribute as a ``float64`` array.
+
+        Scores every *distinct* label once through :meth:`cell_ncp` into a
+        lookup table over the anonymized column's value codes, then gathers
+        the table per record.  Returns ``None`` when the distinct-label guard
+        trips (the caller takes the exact per-record path).
+        """
+        column = anonymized.columnar(attribute)
+        if len(column.values) > _MAX_NCP_TABLE_ENTRIES:
+            return None
+        table = np.fromiter(
+            (self.cell_ncp(attribute, value) for value in column.values),
+            dtype=np.float64,
+            count=len(column.values),
+        )
+        return column.take(table) if len(column.values) else np.zeros(len(anonymized))
+
+    def dataset_ncp_values(self, anonymized: Dataset) -> np.ndarray:
+        """Per-record NCP (the mean over the scored attributes) for all records."""
+        if not self.attributes:
+            return np.zeros(len(anonymized))
+        totals = np.zeros(len(anonymized))
+        for attribute in self.attributes:
+            values = self.attribute_ncp_values(anonymized, attribute)
+            if values is None:
+                return np.fromiter(
+                    (self.record_ncp(record) for record in anonymized),
+                    dtype=np.float64,
+                    count=len(anonymized),
+                )
+            totals += values
+        return totals / len(self.attributes)
+
 
 def global_certainty_penalty(
     original: Dataset,
@@ -163,8 +217,7 @@ def global_certainty_penalty(
         return 0.0
     if context is None:
         context = RelationalLossContext(original, attributes, hierarchies)
-    total = sum(context.record_ncp(record) for record in anonymized)
-    return total / len(anonymized)
+    return float(context.dataset_ncp_values(anonymized).sum()) / len(anonymized)
 
 
 def ncp_per_attribute(
@@ -179,11 +232,44 @@ def ncp_per_attribute(
         return {attribute: 0.0 for attribute in context.attributes}
     result = {}
     for attribute in context.attributes:
-        total = sum(
-            context.cell_ncp(attribute, record[attribute]) for record in anonymized
-        )
+        values = context.attribute_ncp_values(anonymized, attribute)
+        if values is None:
+            total = sum(
+                context.cell_ncp(attribute, record[attribute]) for record in anonymized
+            )
+        else:
+            total = float(values.sum())
         result[attribute] = total / len(anonymized)
     return result
+
+
+def equivalence_class_sizes(
+    anonymized: Dataset, attributes: Sequence[str]
+) -> np.ndarray:
+    """Sizes of the equivalence classes induced by ``attributes`` (``int64``).
+
+    Grouping runs over the columnar code matrix (one ``np.unique`` pass over
+    ``(records, attributes)`` ``int32`` codes) instead of building a
+    per-record tuple dictionary; codes share the dictionary-key equality of
+    ``Dataset.group_by``, so the class structure is identical.
+    """
+    if len(anonymized) == 0:
+        return np.zeros(0, dtype=np.int64)
+    if not attributes:
+        return np.array([len(anonymized)], dtype=np.int64)
+    if any(anonymized.schema[attribute].is_transaction for attribute in attributes):
+        # Set-valued cells have no code column; group the classic way.
+        groups = anonymized.group_by(list(attributes))
+        return np.fromiter(
+            (len(indices) for indices in groups.values()),
+            dtype=np.int64,
+            count=len(groups),
+        )
+    matrix = np.stack(
+        [anonymized.columnar(attribute).codes for attribute in attributes], axis=1
+    )
+    _, counts = np.unique(matrix, axis=0, return_counts=True)
+    return counts.astype(np.int64)
 
 
 def discernibility_metric(
@@ -191,13 +277,9 @@ def discernibility_metric(
 ) -> int:
     """Discernibility: sum of squared equivalence-class sizes."""
     if attributes is None:
-        attributes = [
-            attribute.name
-            for attribute in anonymized.schema.relational
-            if attribute.quasi_identifier
-        ]
-    groups = anonymized.group_by(list(attributes))
-    return sum(len(indices) ** 2 for indices in groups.values())
+        attributes = quasi_identifier_attributes(anonymized)
+    sizes = equivalence_class_sizes(anonymized, list(attributes))
+    return int((sizes * sizes).sum())
 
 
 def average_class_size(
@@ -207,12 +289,8 @@ def average_class_size(
     if k < 1:
         raise DatasetError("k must be at least 1")
     if attributes is None:
-        attributes = [
-            attribute.name
-            for attribute in anonymized.schema.relational
-            if attribute.quasi_identifier
-        ]
-    groups = anonymized.group_by(list(attributes))
-    if not groups:
+        attributes = quasi_identifier_attributes(anonymized)
+    sizes = equivalence_class_sizes(anonymized, list(attributes))
+    if sizes.size == 0:
         return 0.0
-    return (len(anonymized) / len(groups)) / k
+    return (len(anonymized) / sizes.size) / k

@@ -170,11 +170,24 @@ class TestDatasetIntegration:
         universe.add("z")
         assert dataset.item_universe() == {"a", "b", "c"}
 
-    def test_columnar_rejects_relational_attributes(self):
-        schema = Schema([Attribute.categorical("City"), Attribute.transaction("Items")])
-        dataset = Dataset(schema, [{"City": "Athens", "Items": ["a"]}])
+    def test_columnar_dispatches_on_attribute_kind(self):
+        from repro.columnar import CategoricalColumn, NumericColumn
+
+        schema = Schema(
+            [
+                Attribute.categorical("City"),
+                Attribute.numeric("Age"),
+                Attribute.transaction("Items"),
+            ]
+        )
+        dataset = Dataset(
+            schema, [{"City": "Athens", "Age": 30, "Items": ["a"]}]
+        )
+        assert isinstance(dataset.columnar("Items"), TransactionColumn)
+        assert isinstance(dataset.columnar("City"), CategoricalColumn)
+        assert isinstance(dataset.columnar("Age"), NumericColumn)
         with pytest.raises(SchemaError):
-            dataset.columnar("City")
+            dataset.columnar("Missing")
 
     def test_append_invalidates(self):
         dataset = make_transactions([["a"]])

@@ -1,0 +1,104 @@
+"""Unit tests for the relational columnar views (codes + numeric arrays)."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import CategoricalColumn, NumericColumn
+from repro.datasets import Attribute, Dataset, Schema
+
+
+def make_dataset(rows) -> Dataset:
+    schema = Schema([Attribute.numeric("Age"), Attribute.categorical("City")])
+    return Dataset(schema, [{"Age": age, "City": city} for age, city in rows])
+
+
+class TestCategoricalColumn:
+    def test_codes_in_first_seen_order(self):
+        dataset = make_dataset([(1, "b"), (2, "a"), (3, "b"), (4, None)])
+        column = dataset.columnar("City")
+        assert isinstance(column, CategoricalColumn)
+        assert column.values == ("b", "a", None)
+        assert column.codes.tolist() == [0, 1, 0, 2]
+        assert column.codes.dtype == np.int32
+
+    def test_code_of_and_take(self):
+        dataset = make_dataset([(1, "x"), (2, "y"), (3, "x")])
+        column = dataset.columnar("City")
+        assert column.code_of("y") == 1
+        assert column.code_of("missing") is None
+        table = np.array([0.25, 0.75])
+        assert column.take(table).tolist() == [0.25, 0.75, 0.25]
+
+    def test_equal_values_share_a_code(self):
+        # 25 and 25.0 are the same dictionary key, exactly like group_by.
+        dataset = make_dataset([(25, "a"), (25.0, "a")])
+        column = dataset.columnar("Age")
+        assert column.codes.tolist() == [0, 0]
+
+    def test_string_codes_collapse_and_send_none_to_sentinel(self):
+        dataset = make_dataset([(1, "a"), (2, None), (3, "b"), (4, "a")])
+        cells, labels = dataset.columnar("City").string_codes()
+        assert labels == ("a", "b")
+        assert cells.tolist() == [0, 2, 1, 0]  # None -> sentinel len(labels)
+        # Cached on the column.
+        assert dataset.columnar("City").string_codes() is dataset.columnar(
+            "City"
+        ).string_codes()
+
+    def test_string_codes_distinguish_dict_equal_cells(self):
+        # 25 and 25.0 share a value code (dictionary-key equality) but the
+        # string-identity view must keep them apart, like str(value) does.
+        dataset = make_dataset([(25, "a"), (25.0, "a"), ("[20-40]", "a")])
+        column = dataset.columnar("Age")
+        assert column.codes.tolist() == [0, 0, 1]
+        cells, labels = column.string_codes()
+        assert labels == ("25", "25.0", "[20-40]")
+        assert cells.tolist() == [0, 1, 2]
+
+    def test_empty_dataset(self):
+        dataset = make_dataset([])
+        column = dataset.columnar("City")
+        assert column.n_records == 0
+        assert column.values == ()
+
+
+class TestNumericColumn:
+    def test_numbers_nan_for_missing_and_labels(self):
+        dataset = make_dataset([(30, "a"), (None, "a"), (45.5, "a")])
+        dataset.set_value(0, "Age", "[20-40]")  # generalized label
+        column = dataset.columnar("Age")
+        assert isinstance(column, NumericColumn)
+        numbers = column.numbers
+        assert np.isnan(numbers[0]) and np.isnan(numbers[1])
+        assert numbers[2] == 45.5
+        # The code view still distinguishes the label from the missing cell.
+        assert len(column.values) == 3
+
+    def test_all_missing_column(self):
+        dataset = make_dataset([(None, "a"), (None, "b")])
+        column = dataset.columnar("Age")
+        assert np.isnan(column.numbers).all()
+        assert column.values == (None,)
+
+
+class TestCachingAndInvalidation:
+    def test_cached_until_mutation(self):
+        dataset = make_dataset([(1, "a"), (2, "b")])
+        first = dataset.columnar("City")
+        assert dataset.columnar("City") is first
+        dataset.set_value(0, "City", "c")
+        rebuilt = dataset.columnar("City")
+        assert rebuilt is not first
+        assert rebuilt.values == ("c", "b")
+
+    def test_mutating_one_attribute_keeps_the_other(self):
+        dataset = make_dataset([(1, "a"), (2, "b")])
+        ages = dataset.columnar("Age")
+        dataset.set_value(0, "City", "c")
+        assert dataset.columnar("Age") is ages
+
+    def test_append_invalidates_all(self):
+        dataset = make_dataset([(1, "a")])
+        dataset.columnar("Age")
+        dataset.append({"Age": 2, "City": "b"})
+        assert dataset.columnar("Age").n_records == 2
