@@ -13,7 +13,11 @@ loss).  This package supplies the compact, vectorizable twin:
   one ``int32`` code per record over the column's distinct values (plus a
   ``float64`` ``NaN``-missing view for numeric attributes),
 * :mod:`repro.columnar.bitset` — dense ``uint64`` posting bitsets with
-  popcount-based union/intersection/support kernels.
+  popcount-based union/intersection/support kernels,
+* :mod:`repro.columnar.shared` — zero-copy fan-out: pack the flat column
+  arrays into one ``multiprocessing.shared_memory`` segment
+  (:class:`SharedDatasetExport`) and rebuild read-only dataset views in
+  worker processes from the picklable manifest (see ``docs/parallelism.md``).
 
 ``Dataset.columnar()`` builds and caches one column view per attribute
 (transaction or relational); :class:`repro.index.InvertedIndex`, the
@@ -35,6 +39,13 @@ from repro.columnar.bitset import (
 )
 from repro.columnar.column import TransactionColumn
 from repro.columnar.relational import CategoricalColumn, NumericColumn
+from repro.columnar.shared import (
+    SharedDatasetExport,
+    SharedDatasetManifest,
+    attach,
+    attach_cached,
+    resolve_shared_dataset,
+)
 from repro.columnar.vocabulary import ItemVocabulary
 
 __all__ = [
@@ -42,7 +53,12 @@ __all__ = [
     "CategoricalColumn",
     "ItemVocabulary",
     "NumericColumn",
+    "SharedDatasetExport",
+    "SharedDatasetManifest",
     "TransactionColumn",
+    "attach",
+    "attach_cached",
+    "resolve_shared_dataset",
     "bitset_from_indices",
     "empty_bitset",
     "indices_of",

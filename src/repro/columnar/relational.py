@@ -134,9 +134,19 @@ class NumericColumn(CategoricalColumn):
     __slots__ = ("numbers",)
 
     def __init__(
-        self, values: tuple, codes: np.ndarray, attribute: str = "", cells=None
+        self,
+        values: tuple,
+        codes: np.ndarray,
+        attribute: str = "",
+        cells=None,
+        numbers: np.ndarray | None = None,
     ):
         super().__init__(values, codes, attribute=attribute, cells=cells)
+        if numbers is not None:
+            # A precomputed float view (e.g. a zero-copy shared-memory
+            # attachment — see repro.columnar.shared) replaces the derivation.
+            self.numbers = numbers
+            return
         per_code = np.fromiter(
             (
                 float(value) if isinstance(value, (int, float)) else np.nan

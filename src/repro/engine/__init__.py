@@ -16,6 +16,7 @@ from repro.engine.experiment import (
     VaryingParameterExperiment,
     indicator_series,
 )
+from repro.engine.pool import WorkerPool
 from repro.engine.resources import ExperimentResources
 from repro.engine.results import (
     ComparisonReport,
@@ -48,4 +49,5 @@ __all__ = [
     "SweepResult",
     "merge_series",
     "run_many",
+    "WorkerPool",
 ]

@@ -9,28 +9,36 @@ and progressive comparison of sets of algorithms, with respect to their
 utility and efficiency".
 
 Comparisons can fan out across CPU cores: pass ``mode="process"`` and every
-configuration's sweep runs in its own worker process.  The legacy
-``parallel=True`` flag keeps selecting the thread pool.
+configuration's sweep runs in its own worker process; the dataset is
+exported once to shared memory and each task carries only the picklable
+manifest (pass ``pool`` to reuse workers and the export across comparisons).
+The legacy ``parallel=True`` flag keeps selecting the thread pool.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.columnar.shared import resolve_shared_dataset
 from repro.datasets.dataset import Dataset
 from repro.engine.config import AnonymizationConfig
 from repro.engine.experiment import ParameterSweep, VaryingParameterExperiment
+from repro.engine.pool import WorkerPool, fan_out_shared
 from repro.engine.resources import ExperimentResources
 from repro.engine.results import ComparisonReport, SweepResult
-from repro.engine.runner import run_many
+from repro.engine.runner import resolve_mode, run_many
 from repro.exceptions import ConfigurationError
 
 
 def _run_configuration(task: tuple) -> SweepResult:
-    """Run one configuration across the sweep (module-level: picklable)."""
+    """Run one configuration across the sweep (module-level: picklable).
+
+    The dataset slot holds either the dataset itself or a shared-memory
+    manifest (process mode) that the worker attaches without copying arrays.
+    """
     dataset, resources, verify_privacy, config, sweep = task
     experiment = VaryingParameterExperiment(
-        dataset, resources, verify_privacy=verify_privacy
+        resolve_shared_dataset(dataset), resources, verify_privacy=verify_privacy
     )
     return experiment.run(config, sweep)
 
@@ -46,6 +54,7 @@ class MethodComparator:
         parallel: bool = False,
         max_workers: int | None = None,
         mode: str | None = None,
+        pool: WorkerPool | None = None,
     ):
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
@@ -53,6 +62,13 @@ class MethodComparator:
         self.parallel = parallel
         self.max_workers = max_workers
         self.mode = mode
+        self.pool = pool
+
+    def _tasks(self, payload, configurations, sweep: ParameterSweep) -> list[tuple]:
+        return [
+            (payload, self.resources, self.verify_privacy, config, sweep)
+            for config in configurations
+        ]
 
     def compare(
         self,
@@ -64,17 +80,22 @@ class MethodComparator:
         if not configurations:
             raise ConfigurationError("the Comparison mode needs at least one configuration")
 
-        tasks = [
-            (self.dataset, self.resources, self.verify_privacy, config, sweep)
-            for config in configurations
-        ]
-        sweeps = run_many(
-            tasks,
-            _run_configuration,
-            parallel=self.parallel,
-            max_workers=self.max_workers,
-            mode=self.mode,
-        )
+        resolved = resolve_mode(self.parallel, self.mode)
+        if resolved == "process" and len(configurations) > 1:
+            sweeps = fan_out_shared(
+                self.dataset,
+                lambda payload: self._tasks(payload, configurations, sweep),
+                _run_configuration,
+                pool=self.pool,
+                max_workers=self.max_workers,
+            )
+        else:
+            sweeps = run_many(
+                self._tasks(self.dataset, configurations, sweep),
+                _run_configuration,
+                mode=resolved,
+                max_workers=self.max_workers,
+            )
         return ComparisonReport(
             parameter=sweep.parameter, values=list(sweep.values), sweeps=list(sweeps)
         )

@@ -10,7 +10,12 @@ machinery used by both the Evaluation and the Comparison mode.
 Sweeps can fan out across CPU cores: pass ``mode="process"`` to
 :class:`VaryingParameterExperiment` and every sweep point is evaluated in its
 own worker process (the algorithms are CPU-bound pure Python, so threads
-cannot speed them up — see :mod:`repro.engine.runner`).
+cannot speed them up — see :mod:`repro.engine.runner`).  In process mode the
+dataset is not pickled into every task: it is exported once to shared memory
+and the tasks carry only the small manifest
+(:mod:`repro.columnar.shared`); pass a persistent
+:class:`~repro.engine.pool.WorkerPool` to reuse workers and the export
+across several sweeps.
 """
 
 from __future__ import annotations
@@ -18,12 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.columnar.shared import resolve_shared_dataset
 from repro.datasets.dataset import Dataset
 from repro.engine.config import SWEEPABLE_PARAMETERS, AnonymizationConfig
 from repro.engine.evaluator import MethodEvaluator
+from repro.engine.pool import WorkerPool, fan_out_shared
 from repro.engine.resources import ExperimentResources
 from repro.engine.results import EvaluationReport, Series, SweepResult
-from repro.engine.runner import run_many
+from repro.engine.runner import resolve_mode, run_many
 from repro.exceptions import ConfigurationError
 
 #: Indicators extracted from every evaluation report into sweep series.
@@ -107,10 +114,13 @@ def indicator_series(
 def _evaluate_sweep_point(task: tuple) -> EvaluationReport:
     """Evaluate one (configuration, parameter, value) sweep point.
 
-    Module-level so process-mode execution can pickle it; the dataset and
-    resources travel inside the task tuple.
+    Module-level so process-mode execution can pickle it; the resources
+    travel inside the task tuple, while the dataset slot holds either the
+    dataset itself (sequential/thread) or a shared-memory manifest that the
+    worker attaches — once per process — without copying array payloads.
     """
     dataset, resources, verify_privacy, config, parameter, value = task
+    dataset = resolve_shared_dataset(dataset)
     evaluator = MethodEvaluator(dataset, resources, verify_privacy=verify_privacy)
     return evaluator.evaluate(config.with_parameter(parameter, value))
 
@@ -120,7 +130,11 @@ class VaryingParameterExperiment:
 
     ``mode`` selects how sweep points execute: ``"sequential"`` (default),
     ``"thread"``, or ``"process"`` to fan the CPU-bound anonymization runs out
-    across cores.  ``max_workers`` caps the pool size.
+    across cores.  ``max_workers`` caps the pool size.  In process mode the
+    dataset ships to workers as a shared-memory manifest; pass ``pool`` (a
+    :class:`~repro.engine.pool.WorkerPool`) to keep the workers and the
+    export alive across several ``run`` calls instead of rebuilding them per
+    sweep.
     """
 
     def __init__(
@@ -130,28 +144,38 @@ class VaryingParameterExperiment:
         verify_privacy: bool = False,
         mode: str = "sequential",
         max_workers: int | None = None,
+        pool: WorkerPool | None = None,
     ):
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
         self.verify_privacy = verify_privacy
         self.mode = mode
         self.max_workers = max_workers
+        self.pool = pool
 
-    def run(self, config: AnonymizationConfig, sweep: ParameterSweep) -> SweepResult:
-        tasks = [
-            (
-                self.dataset,
-                self.resources,
-                self.verify_privacy,
-                config,
-                sweep.parameter,
-                value,
-            )
+    def _tasks(self, payload, config: AnonymizationConfig, sweep: ParameterSweep):
+        return [
+            (payload, self.resources, self.verify_privacy, config, sweep.parameter, value)
             for value in sweep.values
         ]
-        reports = run_many(
-            tasks, _evaluate_sweep_point, mode=self.mode, max_workers=self.max_workers
-        )
+
+    def run(self, config: AnonymizationConfig, sweep: ParameterSweep) -> SweepResult:
+        resolved = resolve_mode(mode=self.mode)
+        if resolved == "process" and len(sweep) > 1:
+            reports = fan_out_shared(
+                self.dataset,
+                lambda payload: self._tasks(payload, config, sweep),
+                _evaluate_sweep_point,
+                pool=self.pool,
+                max_workers=self.max_workers,
+            )
+        else:
+            reports = run_many(
+                self._tasks(self.dataset, config, sweep),
+                _evaluate_sweep_point,
+                mode=resolved,
+                max_workers=self.max_workers,
+            )
         series = indicator_series(
             reports, list(sweep.values), sweep.parameter, config.display_label
         )

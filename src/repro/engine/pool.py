@@ -1,0 +1,212 @@
+"""A persistent process pool with shared-memory dataset fan-out.
+
+SECRETA's backend "invokes one or more instances of the Anonymization
+Module"; :class:`WorkerPool` is the process-backed version of that fleet.
+It differs from the ad-hoc ``ProcessPoolExecutor`` the runner used to create
+per call in two ways:
+
+* **persistent workers** — the pool is spawned once and reused across sweeps
+  and comparisons, so per-run fan-out cost is task submission, not process
+  creation, and worker-side caches (attached shared datasets, memoized
+  interpreters) survive between tasks;
+* **shared datasets** — :meth:`WorkerPool.share` exports a dataset's columnar
+  arrays into a shared-memory segment
+  (:class:`~repro.columnar.shared.SharedDatasetExport`) and returns the small
+  picklable manifest; tasks ship the manifest instead of the dataset, and
+  workers attach zero-copy views (memoized per process).
+
+The pool owns every segment it exported: :meth:`close` (or leaving the
+context manager, including on exceptions) shuts the executor down and
+unlinks all segments; each export additionally carries a finalizer so
+segments never outlive the interpreter even if ``close`` is skipped.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.columnar.shared import SharedDatasetExport, SharedDatasetManifest
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.datasets.dataset import Dataset
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+
+def validate_max_workers(max_workers: int | None) -> None:
+    """Reject zero/negative worker counts instead of silently defaulting."""
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(
+            f"max_workers must be a positive integer or None, got {max_workers!r}"
+        )
+
+
+def require_picklable_worker(worker: Callable) -> None:
+    """Fail fast, with a clear message, on workers process mode cannot ship."""
+    try:
+        pickle.dumps(worker)
+    except Exception as error:
+        raise ConfigurationError(
+            f"mode='process' requires a picklable worker callable, but "
+            f"{worker!r} cannot be pickled ({error}); define the worker as a "
+            f"module-level function instead of a lambda, closure or bound "
+            f"method of an unpicklable object"
+        ) from error
+
+
+class WorkerPool:
+    """A reusable process pool plus the shared-memory exports it owns.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.  Zero or negative values
+        raise :class:`~repro.exceptions.ConfigurationError`.
+    mp_context:
+        Optional ``multiprocessing`` context (e.g. ``get_context("spawn")``);
+        defaults to the platform's default start method.
+    """
+
+    def __init__(self, max_workers: int | None = None, mp_context=None):
+        validate_max_workers(max_workers)
+        self._max_workers = max_workers or (os.cpu_count() or 1)
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        #: id(dataset) -> (dataset, export).  The strong dataset reference
+        #: keeps the id stable for the pool's lifetime.
+        self._exports: dict[int, tuple[Any, SharedDatasetExport]] = {}
+        self._closed = False
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def segment_names(self) -> list[str]:
+        """Names of the live shared-memory segments this pool owns."""
+        return [export.segment_name for _, export in self._exports.values()]
+
+    # -- sharing -------------------------------------------------------------
+    def share(self, dataset: "Dataset") -> SharedDatasetManifest:
+        """Export ``dataset`` (once) and return its picklable manifest.
+
+        Repeated calls with the same, unmutated dataset reuse the export;
+        a mutated dataset (its columnar cache was invalidated) is re-exported
+        and the stale segment unlinked immediately.
+        """
+        self._require_open()
+        entry = self._exports.get(id(dataset))
+        if entry is not None:
+            held, export = entry
+            if held is dataset and export.matches(dataset):
+                return export.manifest
+            export.close()
+            del self._exports[id(dataset)]
+        export = SharedDatasetExport(dataset)
+        self._exports[id(dataset)] = (dataset, export)
+        return export.manifest
+
+    # -- execution -----------------------------------------------------------
+    def map(
+        self,
+        worker: Callable[[TaskT], ResultT],
+        tasks: Sequence[TaskT] | Iterable[TaskT],
+    ) -> list[ResultT]:
+        """Apply ``worker`` to every task in the pool, preserving order."""
+        self._require_open()
+        require_picklable_worker(worker)
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._max_workers, mp_context=self._mp_context
+            )
+        try:
+            return list(self._executor.map(worker, tasks))
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            # Unpicklable payloads surface as PicklingError, TypeError
+            # ("cannot pickle ...") or AttributeError ("Can't pickle local
+            # object ..."), depending on the offending object; only translate
+            # genuine pickling failures — a worker's own TypeError must pass
+            # through untouched.
+            if isinstance(error, pickle.PicklingError) or "pickle" in str(error).lower():
+                raise ConfigurationError(
+                    f"mode='process' could not pickle a task or result "
+                    f"({error}); ship shared datasets via WorkerPool.share() "
+                    f"and keep task payloads to plain picklable values"
+                ) from error
+            raise
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down and unlink every owned segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        executor, self._executor = self._executor, None
+        try:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        finally:
+            exports, self._exports = self._exports, {}
+            for _, export in exports.values():
+                export.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("the worker pool has been closed")
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"WorkerPool(max_workers={self._max_workers}, "
+            f"exports={len(self._exports)}, {state})"
+        )
+
+
+def fan_out_shared(
+    dataset: "Dataset",
+    make_tasks: Callable[[Any], Sequence],
+    worker: Callable,
+    pool: WorkerPool | None = None,
+    max_workers: int | None = None,
+) -> list:
+    """Run ``worker`` over ``make_tasks(manifest)`` with a shared dataset.
+
+    The one orchestration pattern the experiment and comparator both need:
+    export ``dataset`` to shared memory, build the tasks around the manifest,
+    and fan them out — on the caller's persistent ``pool`` when given (the
+    export is cached there), otherwise on an ephemeral pool sized to the
+    task count and torn down (segments unlinked) before returning.
+    """
+    from repro.engine.runner import run_many
+
+    validate_max_workers(max_workers)
+    if pool is not None:
+        return run_many(
+            make_tasks(pool.share(dataset)), worker, mode="process", pool=pool
+        )
+    export = SharedDatasetExport(dataset)
+    try:
+        tasks = make_tasks(export.manifest)
+        workers = max_workers or min(len(tasks), os.cpu_count() or 1)
+        with WorkerPool(max_workers=workers) as ephemeral:
+            return run_many(tasks, worker, mode="process", pool=ephemeral)
+    finally:
+        export.close()

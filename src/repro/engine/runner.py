@@ -13,7 +13,11 @@ offers three execution modes:
   while the remaining pure-Python bookkeeping still serialises,
 * ``"process"`` — a process pool that actually fans CPU-bound anonymization
   out across cores.  The worker callable and every task/result must be
-  picklable (module-level functions, not closures or lambdas).
+  picklable (module-level functions, not closures or lambdas).  Large
+  datasets should not travel inside the tasks: export them once through
+  :meth:`repro.engine.pool.WorkerPool.share` and ship the manifest instead
+  (the engine's experiment/comparator callers do this automatically — see
+  ``docs/parallelism.md``).
 
 The legacy ``parallel=True`` flag remains an alias for thread mode.
 """
@@ -21,10 +25,13 @@ The legacy ``parallel=True`` flag remains an alias for thread mode.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Literal, Sequence, TypeVar
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Iterable, Literal, Sequence, TypeVar
 
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.engine.pool import WorkerPool
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -51,6 +58,7 @@ def run_many(
     parallel: bool = False,
     max_workers: int | None = None,
     mode: str | None = None,
+    pool: "WorkerPool | None" = None,
 ) -> list[ResultT]:
     """Apply ``worker`` to every task, preserving input order.
 
@@ -58,19 +66,28 @@ def run_many(
     omitted, ``parallel=True`` selects thread mode for backward compatibility.
     Both pool modes default to one worker per task capped at the CPU count:
     the thread-mode kernels are GIL-releasing NumPy passes, so threads scale
-    with cores just like processes do.  Process mode requires ``worker``, the
-    tasks and the results to be picklable.
+    with cores just like processes do.  ``max_workers`` must be positive (or
+    ``None`` for the default).
+
+    ``pool`` supplies a persistent :class:`~repro.engine.pool.WorkerPool` for
+    process mode; without one, an ephemeral pool is created for the call.
+    ``pool`` is ignored by the sequential and thread backends, and its own
+    worker count takes precedence over ``max_workers``.
     """
+    from repro.engine.pool import WorkerPool, validate_max_workers
+
     resolved = resolve_mode(parallel, mode)
+    validate_max_workers(max_workers)
     tasks = list(tasks)
     if not tasks:
         return []
     if resolved == "sequential" or len(tasks) == 1:
         return [worker(task) for task in tasks]
+    workers = max_workers or min(len(tasks), os.cpu_count() or 1)
     if resolved == "thread":
-        workers = max_workers or min(len(tasks), os.cpu_count() or 1)
         with ThreadPoolExecutor(max_workers=workers) as executor:
             return list(executor.map(worker, tasks))
-    workers = max_workers or min(len(tasks), os.cpu_count() or 1)
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(worker, tasks))
+    if pool is not None:
+        return pool.map(worker, tasks)
+    with WorkerPool(max_workers=workers) as ephemeral:
+        return ephemeral.map(worker, tasks)

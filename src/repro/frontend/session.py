@@ -28,6 +28,7 @@ from repro.engine.comparator import MethodComparator
 from repro.engine.config import AnonymizationConfig
 from repro.engine.evaluator import MethodEvaluator
 from repro.engine.experiment import ParameterSweep, VaryingParameterExperiment
+from repro.engine.pool import WorkerPool
 from repro.engine.resources import ExperimentResources
 from repro.engine.results import ComparisonReport, EvaluationReport, SweepResult
 from repro.exceptions import ConfigurationError
@@ -128,6 +129,23 @@ class Session:
         )
         return evaluator.evaluate(config)
 
+    def worker_pool(self, max_workers: int | None = None) -> WorkerPool:
+        """A persistent process pool for repeated sweeps and comparisons.
+
+        The pool spawns its workers once, and the first process-mode
+        ``sweep``/``compare`` call that uses it exports its dataset to shared
+        memory; the export is cached, so consecutive calls over the same
+        (unmutated) dataset ship only small task manifests.  Use it as a
+        context manager
+        (or call ``close()``) so the workers shut down and the shared-memory
+        segments are unlinked::
+
+            with session.worker_pool() as pool:
+                session.sweep(config_a, "k", 2, 10, 2, mode="process", pool=pool)
+                session.sweep(config_b, "k", 2, 10, 2, mode="process", pool=pool)
+        """
+        return WorkerPool(max_workers=max_workers)
+
     def sweep(
         self,
         config: AnonymizationConfig,
@@ -138,12 +156,16 @@ class Session:
         resources: ExperimentResources | None = None,
         mode: str = "sequential",
         max_workers: int | None = None,
+        pool: WorkerPool | None = None,
     ) -> SweepResult:
         """Varying-parameter execution of a single configuration.
 
         ``mode="process"`` evaluates the sweep points in parallel worker
         processes (the algorithms are CPU-bound, so this is the mode that
-        actually uses multiple cores); ``max_workers`` caps the pool.
+        actually uses multiple cores); ``max_workers`` caps the pool.  The
+        dataset travels to the workers through shared memory, and a
+        persistent ``pool`` (see :meth:`worker_pool`) reuses the workers and
+        the export across calls.
         """
         experiment = VaryingParameterExperiment(
             self.dataset,
@@ -151,6 +173,7 @@ class Session:
             verify_privacy=False,
             mode=mode,
             max_workers=max_workers,
+            pool=pool,
         )
         return experiment.run(config, ParameterSweep.from_range(parameter, start, end, step))
 
@@ -166,12 +189,15 @@ class Session:
         parallel: bool = False,
         mode: str | None = None,
         max_workers: int | None = None,
+        pool: WorkerPool | None = None,
     ) -> ComparisonReport:
         """Run several configurations across a sweep and collect their series.
 
         ``mode="process"`` fans the configurations out across CPU cores
-        (capped by ``max_workers``); ``parallel=True`` keeps selecting the
-        legacy thread pool.
+        (capped by ``max_workers``), shipping the dataset through shared
+        memory; a persistent ``pool`` (see :meth:`worker_pool`) reuses the
+        workers and the export across calls.  ``parallel=True`` keeps
+        selecting the legacy thread pool.
         """
         if not configurations:
             raise ConfigurationError("the Comparison mode needs at least one configuration")
@@ -182,6 +208,7 @@ class Session:
             parallel=parallel,
             max_workers=max_workers,
             mode=mode,
+            pool=pool,
         )
         return comparator.compare(
             configurations, ParameterSweep.from_range(parameter, start, end, step)

@@ -1,0 +1,133 @@
+"""Cross-mode equivalence: sequential, thread and process runs are identical.
+
+The execution mode is an operational choice, never a semantic one: for a
+seeded experiment, the anonymized outputs and every reported metric must be
+byte-identical whether the sweep points run in this process, in a thread
+pool, or in worker processes attached to the shared-memory dataset export.
+This is the black-box isolation check for the fan-out subsystem: if the
+shared-memory reconstruction dropped a cell, reordered records, or leaked
+worker state between tasks, the fingerprints below would diverge.
+
+Four algorithm families are covered: COAT and PCTA (constraint-based
+transaction), greedy clustering (relational), and the RT bounding
+combination.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.datasets import generate_rt_dataset
+from repro.engine import (
+    ParameterSweep,
+    VaryingParameterExperiment,
+    WorkerPool,
+    relational_config,
+    transaction_config,
+    rt_config,
+)
+
+MODES = ("sequential", "thread", "process")
+
+CONFIGS = [
+    pytest.param(transaction_config("coat", k=3, m=2), id="coat"),
+    pytest.param(transaction_config("pcta", k=3, m=2), id="pcta"),
+    pytest.param(relational_config("cluster", k=3), id="cluster"),
+    pytest.param(
+        rt_config("cluster", "apriori", k=3, m=2, delta=0.5), id="rt-bounding"
+    ),
+]
+
+SWEEP = ParameterSweep("k", (3, 4))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_rt_dataset(n_records=80, n_items=16, seed=41)
+
+
+def fingerprint(sweep_result) -> list[tuple]:
+    """Everything a report states except wall-clock times."""
+    return [
+        (
+            report.result.dataset.to_rows(),
+            report.result.dataset.schema.names,
+            report.utility,
+            report.privacy,
+            report.are,
+            report.generalized_value_frequencies,
+            report.item_frequency_errors,
+        )
+        for report in sweep_result.reports
+    ]
+
+
+def run_in_mode(dataset, config, mode: str):
+    # A fresh experiment (and freshly generated resources) per mode: nothing
+    # may leak between executions through shared resource objects.
+    experiment = VaryingParameterExperiment(dataset, mode=mode, max_workers=2)
+    return experiment.run(config, SWEEP)
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_modes_produce_identical_results(dataset, config):
+    reference = fingerprint(run_in_mode(dataset, config, "sequential"))
+    for mode in MODES[1:]:
+        assert fingerprint(run_in_mode(dataset, config, mode)) == reference, (
+            f"{mode} mode diverged from sequential for {config.display_label}"
+        )
+
+
+def test_persistent_pool_matches_sequential_across_sweeps(dataset):
+    """One pool reused across several sweeps still matches sequential runs."""
+    configs = [
+        transaction_config("coat", k=3, m=2),
+        relational_config("cluster", k=3),
+    ]
+    sequential = [
+        fingerprint(run_in_mode(dataset, config, "sequential")) for config in configs
+    ]
+    with WorkerPool(max_workers=2) as pool:
+        pooled = [
+            fingerprint(
+                VaryingParameterExperiment(dataset, mode="process", pool=pool).run(
+                    config, SWEEP
+                )
+            )
+            for config in configs
+        ]
+        segments = pool.segment_names()
+        # Both sweeps reuse one export of the (unmutated) dataset.
+        assert len(segments) == 1
+    assert pooled == sequential
+
+
+def test_mixed_int_float_cells_do_not_diverge():
+    """Dict-equal but type-distinct cells (25 vs 25.0) feed the clustering
+    cost model through ``string_codes()``; the shared-memory reconstruction
+    must keep them apart or process mode would cluster differently."""
+    from repro.datasets import Attribute, Dataset, Schema
+
+    schema = Schema([Attribute.numeric("Age"), Attribute.categorical("Zip")])
+    rows = [
+        {"Age": (25 if position % 2 else 25.0) + position // 2, "Zip": f"z{position % 4}"}
+        for position in range(24)
+    ]
+    mixed = Dataset(schema, rows, name="mixed-cells")
+    config = relational_config("cluster", k=3)
+    reference = fingerprint(run_in_mode(mixed, config, "sequential"))
+    assert fingerprint(run_in_mode(mixed, config, "process")) == reference
+
+
+def test_process_mode_unlinks_segments(dataset):
+    """After pool shutdown no named shared-memory segment survives."""
+    with WorkerPool(max_workers=1) as pool:
+        experiment = VaryingParameterExperiment(dataset, mode="process", pool=pool)
+        experiment.run(transaction_config("coat", k=3, m=2), SWEEP)
+        segments = pool.segment_names()
+        assert segments
+    for name in segments:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

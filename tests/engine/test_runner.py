@@ -1,0 +1,138 @@
+"""Unit tests for the execution runner (`repro.engine.runner`).
+
+Covers mode resolution (including the legacy ``parallel=True`` alias and the
+unknown-mode error), order preservation across all three backends, the
+empty/single-task shortcuts, ``max_workers`` validation, and the clear error
+process mode raises for unpicklable workers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.engine.pool import WorkerPool, validate_max_workers
+from repro.engine.runner import EXECUTION_MODES, resolve_mode, run_many
+from repro.exceptions import ConfigurationError
+
+
+# Module-level workers: process mode must be able to pickle them.
+def _square(value: int) -> int:
+    return value * value
+
+
+def _slow_identity(value: float) -> float:
+    # Later tasks finish first unless the backend preserves submission order.
+    time.sleep(0.05 / (1.0 + value))
+    return value
+
+
+def _explode(value):  # pragma: no cover - must never be called
+    raise AssertionError("worker must not run for an empty task list")
+
+
+class TestResolveMode:
+    def test_defaults_to_sequential(self):
+        assert resolve_mode() == "sequential"
+
+    def test_legacy_parallel_flag_is_thread_alias(self):
+        assert resolve_mode(parallel=True) == "thread"
+
+    @pytest.mark.parametrize("mode", EXECUTION_MODES)
+    def test_explicit_modes_pass_through(self, mode):
+        assert resolve_mode(mode=mode) == mode
+
+    def test_explicit_mode_wins_over_legacy_flag(self):
+        assert resolve_mode(parallel=True, mode="sequential") == "sequential"
+        assert resolve_mode(parallel=True, mode="process") == "process"
+
+    @pytest.mark.parametrize("mode", ["threads", "parallel", "", "PROCESS"])
+    def test_unknown_mode_raises_configuration_error(self, mode):
+        with pytest.raises(ConfigurationError, match="unknown execution mode"):
+            resolve_mode(mode=mode)
+
+
+class TestRunMany:
+    @pytest.mark.parametrize("mode", EXECUTION_MODES)
+    def test_empty_tasks_shortcut(self, mode):
+        assert run_many([], _explode, mode=mode) == []
+
+    @pytest.mark.parametrize("mode", EXECUTION_MODES)
+    def test_single_task_runs_in_this_process(self, mode):
+        # The one-task shortcut never pays pool startup: even in process
+        # mode the worker executes in the calling process.
+        assert run_many([os.getpid()], _same_pid, mode=mode) == [True]
+
+    def test_iterable_tasks_are_accepted(self):
+        assert run_many(iter(range(4)), _square) == [0, 1, 4, 9]
+
+    @pytest.mark.parametrize("mode", EXECUTION_MODES)
+    def test_order_preserved(self, mode):
+        values = [3.0, 0.0, 2.0, 1.0, 4.0]
+        assert run_many(values, _slow_identity, mode=mode, max_workers=2) == values
+
+    def test_thread_mode_actually_uses_threads(self):
+        seen: set[str] = set()
+
+        def worker(value):
+            seen.add(threading.current_thread().name)
+            time.sleep(0.02)
+            return value
+
+        run_many(list(range(4)), worker, mode="thread", max_workers=2)
+        assert len(seen) > 1
+
+    def test_process_mode_computes_results(self):
+        assert run_many([1, 2, 3], _square, mode="process", max_workers=2) == [1, 4, 9]
+
+    @pytest.mark.parametrize("bad_workers", [0, -1, -8])
+    @pytest.mark.parametrize("mode", EXECUTION_MODES)
+    def test_nonpositive_max_workers_rejected(self, mode, bad_workers):
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            run_many([1, 2], _square, mode=mode, max_workers=bad_workers)
+
+    def test_max_workers_one_is_allowed(self):
+        assert run_many([1, 2], _square, mode="thread", max_workers=1) == [1, 4]
+        assert validate_max_workers(1) is None
+        assert validate_max_workers(None) is None
+
+    def test_unpicklable_worker_raises_clear_error(self):
+        with pytest.raises(ConfigurationError, match="module-level function"):
+            run_many([1, 2], lambda value: value, mode="process")
+
+    def test_unpicklable_worker_error_names_the_worker(self):
+        def local_closure(value):
+            return value
+
+        with pytest.raises(ConfigurationError, match="picklable worker"):
+            run_many([1, 2], local_closure, mode="process")
+
+    def test_unpicklable_task_raises_clear_error(self):
+        tasks = [(1, threading.Lock()), (2, threading.Lock())]
+        with pytest.raises(ConfigurationError, match="could not pickle a task"):
+            run_many(tasks, _square, mode="process")
+
+    def test_worker_type_error_passes_through(self):
+        # A genuine TypeError raised *by the worker* must not be mislabelled
+        # as a pickling problem.
+        with pytest.raises(TypeError, match="boom-from-the-worker"):
+            run_many([1, 2], _raise_type_error, mode="process")
+
+    def test_explicit_pool_is_used_and_survives(self):
+        with WorkerPool(max_workers=1) as pool:
+            assert run_many([1, 2, 3], _square, mode="process", pool=pool) == [1, 4, 9]
+            # The pool stays open for further calls (persistent workers).
+            assert run_many([4, 5], _square, mode="process", pool=pool) == [16, 25]
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.map(_square, [1, 2])
+
+
+def _same_pid(parent_pid: int) -> bool:
+    return os.getpid() == parent_pid
+
+
+def _raise_type_error(value):
+    raise TypeError("boom-from-the-worker")

@@ -1,0 +1,229 @@
+"""Property tests: the shared-memory export is a faithful, leak-free codec.
+
+``attach(export(ds))`` must reproduce the dataset exactly — schema, records
+(including ``None`` cells, mixed int/float numerics and empty itemsets) and
+the pre-seeded columnar views — while the array payloads stay zero-copy,
+read-only views into the segment.  Hypothesis drives random RT-datasets;
+explicit cases pin the edges random data rarely hits: empty datasets, empty
+attributes (all-``None`` numeric columns, all-empty itemsets) and record
+counts that straddle the 64-bit word and 4096-bit block boundaries of the
+posting bitsets.  Every path — normal, error and pool shutdown — must
+unlink its segments.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar.shared import SharedDatasetExport, attach
+from repro.datasets import Attribute, Dataset, Schema
+from repro.engine.pool import WorkerPool
+
+ITEMS = [f"i{n}" for n in range(9)]
+
+numeric_cells = st.one_of(
+    st.none(),
+    st.integers(-30, 30),
+    st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+categorical_cells = st.sampled_from(["alpha", "beta", "γ-umlaut", None])
+itemsets = st.sets(st.sampled_from(ITEMS), max_size=4)
+
+dataset_rows = st.lists(
+    st.fixed_dictionaries(
+        {"Age": numeric_cells, "City": categorical_cells, "Items": itemsets}
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def make_dataset(rows) -> Dataset:
+    schema = Schema(
+        [
+            Attribute.numeric("Age"),
+            Attribute.categorical("City"),
+            Attribute.transaction("Items"),
+        ]
+    )
+    return Dataset(schema, rows, name="property-rt")
+
+
+def segment_is_gone(name: str) -> bool:
+    try:
+        shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    return False
+
+
+def assert_roundtrip(dataset: Dataset) -> None:
+    """Export → attach → equality + zero-copy view checks, then clean close."""
+    export = SharedDatasetExport(dataset)
+    name = export.segment_name
+    try:
+        view = attach(export.manifest)
+        assert view == dataset
+        assert view.schema == dataset.schema
+        assert view.name == dataset.name
+
+        items = dataset.columnar("Items")
+        attached_items = view.columnar("Items")
+        assert np.array_equal(attached_items.indptr, items.indptr)
+        assert np.array_equal(attached_items.tokens, items.tokens)
+        assert attached_items.vocabulary.items == items.vocabulary.items
+        assert np.array_equal(
+            attached_items.bitset_postings(), items.bitset_postings()
+        )
+
+        ages = dataset.columnar("Age")
+        attached_ages = view.columnar("Age")
+        assert attached_ages.values == ages.values
+        assert np.array_equal(attached_ages.codes, ages.codes)
+        assert np.array_equal(attached_ages.numbers, ages.numbers, equal_nan=True)
+
+        cities = dataset.columnar("City")
+        attached_cities = view.columnar("City")
+        assert attached_cities.values == cities.values
+        assert np.array_equal(attached_cities.codes, cities.codes)
+
+        # Cells survive with their exact types (25 vs 25.0 must not collapse
+        # through the dict-key codes), so derived views like string_codes()
+        # are identical on both sides.
+        for name in ("Age", "City"):
+            assert [
+                (type(value).__name__, value) for value in view.column(name)
+            ] == [(type(value).__name__, value) for value in dataset.column(name)]
+            original_codes, original_labels = dataset.columnar(name).string_codes()
+            attached_codes, attached_labels = view.columnar(name).string_codes()
+            assert attached_labels == original_labels
+            assert np.array_equal(attached_codes, original_codes)
+
+        # The views are zero-copy and read-only: the segment is never written.
+        for array in (
+            attached_items.indptr,
+            attached_items.tokens,
+            attached_items.bitset_postings(),
+            attached_ages.codes,
+            attached_ages.numbers,
+            attached_cities.codes,
+        ):
+            assert not array.flags.writeable
+    finally:
+        export.close()
+    assert segment_is_gone(name)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=dataset_rows)
+def test_roundtrip_random_datasets(rows):
+    assert_roundtrip(make_dataset(rows))
+
+
+@pytest.mark.parametrize(
+    "n_records",
+    [0, 1, 63, 64, 65, 127, 128, 4095, 4096, 4097],
+    ids=lambda n: f"{n}-records",
+)
+def test_roundtrip_word_and_block_boundaries(n_records):
+    """Posting bitsets pack 64 records per word; cross every boundary."""
+    rows = [
+        {
+            "Age": position if position % 7 else None,
+            "City": ["alpha", "beta", None][position % 3],
+            "Items": {ITEMS[position % len(ITEMS)], ITEMS[(position * 5) % len(ITEMS)]},
+        }
+        for position in range(n_records)
+    ]
+    assert_roundtrip(make_dataset(rows))
+
+
+def test_roundtrip_empty_attributes():
+    """All-``None`` numerics and all-empty itemsets survive the codec."""
+    rows = [{"Age": None, "City": None, "Items": set()} for _ in range(10)]
+    assert_roundtrip(make_dataset(rows))
+
+
+def test_roundtrip_empty_dataset():
+    assert_roundtrip(make_dataset([]))
+
+
+def test_roundtrip_keeps_dict_equal_cells_apart():
+    """``25`` and ``25.0`` share a categorical code but must round-trip as
+    distinct cells: their ``str()`` forms (hence ``string_codes()``, which
+    the clustering/merge cost models consume) differ."""
+    rows = [
+        {"Age": 25, "City": "alpha", "Items": {"i1"}},
+        {"Age": 25.0, "City": "alpha", "Items": {"i2"}},
+        {"Age": None, "City": "beta", "Items": set()},
+    ]
+    dataset = make_dataset(rows)
+    assert len(dataset.columnar("Age").values) == 2  # dict-key collapse
+    assert_roundtrip(dataset)
+
+
+def test_attach_cache_is_bounded():
+    from repro.columnar import shared as shared_module
+
+    dataset = make_dataset([{"Age": 1, "City": "alpha", "Items": {"i1"}}])
+    exports = [SharedDatasetExport(dataset) for _ in range(shared_module._ATTACH_CACHE_LIMIT + 3)]
+    try:
+        for export in exports:
+            shared_module.attach_cached(export.manifest)
+        assert len(shared_module._ATTACHED) <= shared_module._ATTACH_CACHE_LIMIT
+        # The newest attachment is retained and memoized.
+        newest = exports[-1].manifest
+        assert shared_module.attach_cached(newest) is shared_module.attach_cached(newest)
+    finally:
+        for export in exports:
+            export.close()
+
+
+def test_close_is_idempotent_and_unlinks_on_error_paths():
+    dataset = make_dataset([{"Age": 1, "City": "alpha", "Items": {"i1"}}])
+    export = SharedDatasetExport(dataset)
+    name = export.segment_name
+    export.close()
+    export.close()
+    assert segment_is_gone(name)
+
+    with pytest.raises(RuntimeError, match="boom"):
+        with SharedDatasetExport(dataset) as failing:
+            name = failing.segment_name
+            raise RuntimeError("boom")
+    assert segment_is_gone(name)
+
+
+def test_pool_unlinks_shared_segments_on_exception():
+    dataset = make_dataset(
+        [{"Age": n, "City": "alpha", "Items": {"i1", "i2"}} for n in range(70)]
+    )
+    with pytest.raises(RuntimeError, match="boom"):
+        with WorkerPool(max_workers=1) as pool:
+            pool.share(dataset)
+            names = pool.segment_names()
+            assert names
+            raise RuntimeError("boom")
+    assert all(segment_is_gone(name) for name in names)
+    assert pool.closed
+
+
+def test_pool_reexports_after_mutation():
+    """A mutated dataset gets a fresh export; the stale segment is unlinked."""
+    dataset = make_dataset(
+        [{"Age": n, "City": "beta", "Items": {"i3"}} for n in range(5)]
+    )
+    with WorkerPool(max_workers=1) as pool:
+        first = pool.share(dataset)
+        assert pool.share(dataset).segment == first.segment  # cached, unmutated
+        dataset.set_value(0, "Age", 99)
+        second = pool.share(dataset)
+        assert second.segment != first.segment
+        assert segment_is_gone(first.segment)
+        assert attach(second)[0]["Age"] == 99
+    assert segment_is_gone(second.segment)
