@@ -38,6 +38,7 @@ from repro.datasets import (
     Attribute,
     AttributeKind,
     Dataset,
+    DatasetDomains,
     DatasetEditor,
     Schema,
     generate_adult_like,
@@ -72,6 +73,7 @@ __all__ = [
     "Attribute",
     "AttributeKind",
     "Dataset",
+    "DatasetDomains",
     "DatasetEditor",
     "Schema",
     "generate_adult_like",

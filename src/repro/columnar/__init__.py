@@ -14,6 +14,9 @@ loss).  This package supplies the compact, vectorizable twin:
   ``float64`` ``NaN``-missing view for numeric attributes),
 * :mod:`repro.columnar.bitset` — dense ``uint64`` posting bitsets with
   popcount-based union/intersection/support kernels,
+* :mod:`repro.columnar.estimation` — shape-level reduction kernels for the
+  query-estimation hot path (order-preserving :func:`sequential_sum`,
+  per-CSR-row :func:`row_max`, boolean-mask packing),
 * :mod:`repro.columnar.shared` — zero-copy fan-out: pack the flat column
   arrays into one ``multiprocessing.shared_memory`` segment
   (:class:`SharedDatasetExport`) and rebuild read-only dataset views in
@@ -31,6 +34,7 @@ from repro.columnar.bitset import (
     bitset_from_indices,
     empty_bitset,
     indices_of,
+    intersect_rows,
     popcount,
     popcount_rows,
     posting_matrix,
@@ -38,6 +42,7 @@ from repro.columnar.bitset import (
     word_count,
 )
 from repro.columnar.column import TransactionColumn
+from repro.columnar.estimation import mask_to_bitset, row_max, sequential_sum
 from repro.columnar.relational import CategoricalColumn, NumericColumn
 from repro.columnar.shared import (
     SharedDatasetExport,
@@ -62,9 +67,13 @@ __all__ = [
     "bitset_from_indices",
     "empty_bitset",
     "indices_of",
+    "intersect_rows",
+    "mask_to_bitset",
     "popcount",
     "popcount_rows",
     "posting_matrix",
+    "row_max",
+    "sequential_sum",
     "union_rows",
     "word_count",
 ]

@@ -97,6 +97,21 @@ def union_rows(matrix: np.ndarray, rows) -> np.ndarray:
     return np.bitwise_or.reduce(matrix[rows], axis=0)
 
 
+def intersect_rows(matrix: np.ndarray, rows) -> np.ndarray:
+    """Bitwise AND of the selected ``rows`` of a posting matrix (empty → zeros).
+
+    The empty intersection is *not* the universe: callers asking for the
+    records containing "all of no items" should not call this at all, so the
+    degenerate case resolves to the conservative empty set.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return np.zeros(matrix.shape[1], dtype=np.uint64)
+    if rows.size == 1:
+        return matrix[rows[0]].copy()
+    return np.bitwise_and.reduce(matrix[rows], axis=0)
+
+
 def indices_of(bits: np.ndarray) -> np.ndarray:
     """The sorted bit positions set in ``bits`` (inverse of packing)."""
     # Force a little-endian byte view so bit i of each word unpacks to

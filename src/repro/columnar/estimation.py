@@ -1,0 +1,65 @@
+"""Shape-level kernels for vectorized query estimation.
+
+The query layer (:mod:`repro.queries`) scores a COUNT query over an
+anonymized dataset by resolving each *distinct* label once into a match
+probability and reducing per record.  These kernels are the reduction half:
+they know nothing about queries, hierarchies or universes — they operate on
+the flat columnar arrays (:class:`~repro.columnar.relational.CategoricalColumn`
+codes, :class:`~repro.columnar.column.TransactionColumn` CSR rows and posting
+bitsets) plus caller-built per-distinct-value tables.
+
+Two contracts matter here:
+
+* **Bit-for-bit equality with the per-record path.**  The scalar estimator
+  multiplies per-record probabilities left to right and accumulates the total
+  sequentially; :func:`sequential_sum` reproduces that exact addition order
+  (``np.cumsum`` is a running, in-order reduction, unlike ``np.sum``'s
+  pairwise tree), so the kernel result equals the per-record reference to the
+  last ulp rather than merely approximately.
+* **Empty rows reduce to 0.**  ``ufunc.reduceat`` has no identity element for
+  empty segments, so :func:`row_max` reduces only the non-empty CSR rows —
+  valid because empty rows occupy no token span — and leaves zeros elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.columnar.bitset import bitset_from_indices
+
+
+def sequential_sum(values: np.ndarray) -> float:
+    """Left-to-right sum of ``values``, bit-identical to a Python ``+=`` loop.
+
+    ``np.sum`` uses pairwise summation, which is *more* accurate than a
+    sequential accumulation but differs in the last bits; the per-record
+    estimation path is the semantic reference, so the kernel reproduces its
+    exact rounding.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    return float(np.cumsum(values)[-1])
+
+
+def row_max(indptr: np.ndarray, per_occurrence: np.ndarray) -> np.ndarray:
+    """Per-CSR-row maximum of ``per_occurrence`` values (empty rows → 0.0).
+
+    ``indptr`` is the ``n_records + 1`` CSR offset array; ``per_occurrence``
+    holds one value per token occurrence.  Since empty rows span no
+    occurrences, reducing at the starts of the non-empty rows alone covers
+    each such row's exact segment.
+    """
+    n_records = len(indptr) - 1
+    result = np.zeros(n_records, dtype=np.float64)
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    if np.any(nonempty):
+        starts = indptr[:-1][nonempty]
+        result[nonempty] = np.maximum.reduceat(per_occurrence, starts)
+    return result
+
+
+def mask_to_bitset(mask: np.ndarray) -> np.ndarray:
+    """Pack a per-record boolean mask into a record bitset."""
+    return bitset_from_indices(np.flatnonzero(mask), len(mask))

@@ -8,6 +8,7 @@ from repro.datasets.csv_io import (
     write_csv_text,
 )
 from repro.datasets.dataset import Dataset, Record
+from repro.datasets.domains import DatasetDomains
 from repro.datasets.editor import DatasetEditor
 from repro.datasets.generators import (
     generate_adult_like,
@@ -29,6 +30,7 @@ __all__ = [
     "AttributeKind",
     "Schema",
     "Dataset",
+    "DatasetDomains",
     "Record",
     "DatasetEditor",
     "load_csv",

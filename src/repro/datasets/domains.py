@@ -1,0 +1,70 @@
+"""Domain snapshots of an original dataset for universe-aware estimation.
+
+Query estimation (:meth:`repro.queries.query.Query.estimate`) resolves
+generalized labels to the original values they may stand for.  Hierarchy
+nodes carry their own leaf sets, but hierarchy-free labels — the generic
+root ``*`` and the explicit item groups of COAT/PCTA — can only be resolved
+against the *original* dataset's value domains, which the anonymized dataset
+no longer exposes.  :class:`DatasetDomains` is that missing context: one
+immutable, picklable snapshot of every attribute's domain, captured from the
+original dataset once (reusing the cached :meth:`Dataset.columnar`
+vocabularies) and threaded through the engine into every ARE evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset ↔ domains)
+    from repro.datasets.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class DatasetDomains:
+    """Per-attribute value domains of one (original) dataset.
+
+    ``relational`` maps each relational attribute to its distinct non-missing
+    cell values (stringified, the identity label interpreters use);
+    ``items`` maps each transaction attribute to its item universe.  The
+    snapshot is a pure value object: equal snapshots build equal interpreter
+    cache keys, so evaluations in different worker processes share the same
+    resolution semantics.
+    """
+
+    relational: dict[str, frozenset[str]] = field(default_factory=dict)
+    items: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, dataset: "Dataset") -> "DatasetDomains":
+        """Snapshot every attribute domain of ``dataset``.
+
+        Transaction attributes reuse the columnar :class:`ItemVocabulary`;
+        relational attributes reuse the columnar code table's distinct
+        values — both views are cached on the dataset, so repeated captures
+        (and the metrics running on the same views) cost no extra scans.
+        """
+        relational: dict[str, frozenset[str]] = {}
+        items: dict[str, frozenset[str]] = {}
+        for attribute in dataset.schema:
+            column = dataset.columnar(attribute.name)
+            if attribute.is_transaction:
+                items[attribute.name] = frozenset(column.vocabulary.items)
+            else:
+                relational[attribute.name] = frozenset(
+                    str(value) for value in column.values if value is not None
+                )
+        return cls(relational=relational, items=items)
+
+    def universe_for(self, attribute: str) -> frozenset[str] | None:
+        """The domain of ``attribute`` (``None`` when it was not captured)."""
+        universe = self.items.get(attribute)
+        if universe is not None:
+            return universe
+        return self.relational.get(attribute)
+
+    def summary(self) -> dict:
+        return {
+            "relational": {name: len(values) for name, values in sorted(self.relational.items())},
+            "items": {name: len(values) for name, values in sorted(self.items.items())},
+        }

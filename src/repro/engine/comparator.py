@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 
 from repro.columnar.shared import resolve_shared_dataset
 from repro.datasets.dataset import Dataset
+from repro.datasets.domains import DatasetDomains
 from repro.engine.config import AnonymizationConfig
 from repro.engine.experiment import ParameterSweep, VaryingParameterExperiment
 from repro.engine.pool import WorkerPool, fan_out_shared
@@ -36,9 +37,12 @@ def _run_configuration(task: tuple) -> SweepResult:
     The dataset slot holds either the dataset itself or a shared-memory
     manifest (process mode) that the worker attaches without copying arrays.
     """
-    dataset, resources, verify_privacy, config, sweep = task
+    dataset, resources, verify_privacy, universe_mode, config, sweep = task
     experiment = VaryingParameterExperiment(
-        resolve_shared_dataset(dataset), resources, verify_privacy=verify_privacy
+        resolve_shared_dataset(dataset),
+        resources,
+        verify_privacy=verify_privacy,
+        universe_mode=universe_mode,
     )
     return experiment.run(config, sweep)
 
@@ -55,6 +59,7 @@ class MethodComparator:
         max_workers: int | None = None,
         mode: str | None = None,
         pool: WorkerPool | None = None,
+        universe_mode: str = "original",
     ):
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
@@ -63,10 +68,11 @@ class MethodComparator:
         self.max_workers = max_workers
         self.mode = mode
         self.pool = pool
+        self.universe_mode = universe_mode
 
     def _tasks(self, payload, configurations, sweep: ParameterSweep) -> list[tuple]:
         return [
-            (payload, self.resources, self.verify_privacy, config, sweep)
+            (payload, self.resources, self.verify_privacy, self.universe_mode, config, sweep)
             for config in configurations
         ]
 
@@ -80,6 +86,10 @@ class MethodComparator:
         if not configurations:
             raise ConfigurationError("the Comparison mode needs at least one configuration")
 
+        if self.resources.domains is None and len(self.dataset):
+            # One snapshot shared by every configuration's sweep (and every
+            # worker process the comparison fans out to).
+            self.resources.domains = DatasetDomains.capture(self.dataset)
         resolved = resolve_mode(self.parallel, self.mode)
         if resolved == "process" and len(configurations) > 1:
             sweeps = fan_out_shared(

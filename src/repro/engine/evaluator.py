@@ -50,10 +50,18 @@ class MethodEvaluator:
         resources: ExperimentResources | None = None,
         verify_privacy: bool = True,
         km_check_limit: int = 128,
+        universe_mode: str = "original",
     ):
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
         self.verify_privacy = verify_privacy
+        #: How ARE resolves generalized labels: ``"original"`` keys the query
+        #: interpreters by the original dataset's attribute domains (captured
+        #: in the resources at prepare time), making ARE consistent with the
+        #: utility-loss charging rule on root-generalized outputs;
+        #: ``"seed"`` keeps the hierarchy-only resolution (the regression
+        #: reference).
+        self.universe_mode = universe_mode
         #: k^m / (k,k^m) verification enumerates item combinations, so it is
         #: skipped (reported as ``None``) when the item universe exceeds this
         #: limit, exactly like a GUI would avoid freezing on huge data.  The
@@ -154,9 +162,19 @@ class MethodEvaluator:
 
         transaction_attribute = self._transaction_attribute(config)
         hierarchies = self.resources.hierarchies_with_items(transaction_attribute)
-        are_result = average_relative_error(
-            self.resources.workload, self.dataset, anonymized, hierarchies=hierarchies
-        )
+        if self.resources.workload is None:
+            # A dataset with nothing to query gets no generated workload;
+            # ARE is simply not computable then, rather than a crash.
+            are = None
+        else:
+            are = average_relative_error(
+                self.resources.workload,
+                self.dataset,
+                anonymized,
+                hierarchies=hierarchies,
+                domains=self.resources.domains,
+                universe_mode=self.universe_mode,
+            ).are
 
         generalized_frequencies = {}
         if config.relational_algorithm is not None:
@@ -178,7 +196,7 @@ class MethodEvaluator:
             result=result,
             utility=self._utility_indicators(config, anonymized),
             privacy=self._privacy_status(config, anonymized),
-            are=are_result.are,
+            are=are,
             runtime_seconds=result.runtime_seconds,
             phase_seconds=dict(result.phase_seconds),
             generalized_value_frequencies=generalized_frequencies,

@@ -25,6 +25,7 @@ from typing import Any, Sequence
 
 from repro.columnar.shared import resolve_shared_dataset
 from repro.datasets.dataset import Dataset
+from repro.datasets.domains import DatasetDomains
 from repro.engine.config import SWEEPABLE_PARAMETERS, AnonymizationConfig
 from repro.engine.evaluator import MethodEvaluator
 from repro.engine.pool import WorkerPool, fan_out_shared
@@ -98,8 +99,9 @@ def indicator_series(
         populated = False
         for value, report in zip(values, reports):
             if indicator == "are":
-                current.append(value, report.are)
-                populated = True
+                if report.are is not None:
+                    current.append(value, report.are)
+                    populated = True
             elif indicator == "runtime_seconds":
                 current.append(value, report.runtime_seconds)
                 populated = True
@@ -119,9 +121,11 @@ def _evaluate_sweep_point(task: tuple) -> EvaluationReport:
     dataset itself (sequential/thread) or a shared-memory manifest that the
     worker attaches — once per process — without copying array payloads.
     """
-    dataset, resources, verify_privacy, config, parameter, value = task
+    dataset, resources, verify_privacy, universe_mode, config, parameter, value = task
     dataset = resolve_shared_dataset(dataset)
-    evaluator = MethodEvaluator(dataset, resources, verify_privacy=verify_privacy)
+    evaluator = MethodEvaluator(
+        dataset, resources, verify_privacy=verify_privacy, universe_mode=universe_mode
+    )
     return evaluator.evaluate(config.with_parameter(parameter, value))
 
 
@@ -145,6 +149,7 @@ class VaryingParameterExperiment:
         mode: str = "sequential",
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
+        universe_mode: str = "original",
     ):
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
@@ -152,14 +157,27 @@ class VaryingParameterExperiment:
         self.mode = mode
         self.max_workers = max_workers
         self.pool = pool
+        self.universe_mode = universe_mode
 
     def _tasks(self, payload, config: AnonymizationConfig, sweep: ParameterSweep):
         return [
-            (payload, self.resources, self.verify_privacy, config, sweep.parameter, value)
+            (
+                payload,
+                self.resources,
+                self.verify_privacy,
+                self.universe_mode,
+                config,
+                sweep.parameter,
+                value,
+            )
             for value in sweep.values
         ]
 
     def run(self, config: AnonymizationConfig, sweep: ParameterSweep) -> SweepResult:
+        if self.resources.domains is None and len(self.dataset):
+            # Capture the original-domain snapshot once in the parent so every
+            # sweep point (and worker process) shares one equal snapshot.
+            self.resources.domains = DatasetDomains.capture(self.dataset)
         resolved = resolve_mode(mode=self.mode)
         if resolved == "process" and len(sweep) > 1:
             reports = fan_out_shared(

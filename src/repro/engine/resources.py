@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.datasets.dataset import Dataset
+from repro.datasets.domains import DatasetDomains
 from repro.engine.config import AnonymizationConfig
 from repro.hierarchy.builders import build_hierarchies_for_dataset, build_item_hierarchy
 from repro.hierarchy.hierarchy import Hierarchy
@@ -31,6 +32,10 @@ class ExperimentResources:
     privacy_policy: PrivacyPolicy | None = None
     utility_policy: UtilityPolicy | None = None
     workload: QueryWorkload | None = None
+    #: Attribute-domain snapshot of the *original* dataset, captured at
+    #: prepare time; query estimation resolves hierarchy-free generalized
+    #: labels against it (the ``"original"`` universe mode).
+    domains: DatasetDomains | None = None
 
     @classmethod
     def prepare(
@@ -44,6 +49,7 @@ class ExperimentResources:
         workload: QueryWorkload | None = None,
         workload_queries: int = 50,
         seed: int = 0,
+        domains: DatasetDomains | None = None,
     ) -> "ExperimentResources":
         """Assemble resources for ``config``, generating whatever is missing."""
         resources = cls(
@@ -52,6 +58,7 @@ class ExperimentResources:
             privacy_policy=privacy_policy,
             utility_policy=utility_policy,
             workload=workload,
+            domains=domains,
         )
         resources.ensure_for(dataset, config, workload_queries=workload_queries, seed=seed)
         return resources
@@ -71,10 +78,30 @@ class ExperimentResources:
         if config.transaction_algorithm is not None and transaction_attribute:
             self._ensure_item_hierarchy(dataset, config, transaction_attribute)
             self._ensure_policies(dataset, config, transaction_attribute)
-        if self.workload is None:
+        if self.domains is None and len(dataset):
+            # Snapshot the original attribute domains before anonymization:
+            # universe-aware ARE resolves generalized labels against them.
+            self.domains = DatasetDomains.capture(dataset)
+        if self.workload is None and self._can_generate_workload(dataset):
             self.workload = generate_query_workload(
                 dataset, n_queries=workload_queries, seed=seed
             )
+
+    def _can_generate_workload(self, dataset: Dataset) -> bool:
+        """Whether the dataset has anything a generated workload could query.
+
+        A dataset with no quasi-identifier relational attributes and no
+        transaction attribute (or no records) cannot seed queries; the
+        workload then stays ``None`` and the evaluator skips ARE instead of
+        crashing on generation.
+        """
+        if not len(dataset):
+            return False
+        if dataset.schema.transaction_names:
+            return True
+        return any(
+            attribute.quasi_identifier for attribute in dataset.schema.relational
+        )
 
     def _transaction_attribute(
         self, dataset: Dataset, config: AnonymizationConfig
@@ -159,4 +186,5 @@ class ExperimentResources:
             "privacy_constraints": len(self.privacy_policy) if self.privacy_policy else 0,
             "utility_constraints": len(self.utility_policy) if self.utility_policy else 0,
             "workload_queries": len(self.workload) if self.workload else 0,
+            "domains": self.domains.summary() if self.domains else None,
         }

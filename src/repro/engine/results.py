@@ -52,7 +52,9 @@ class EvaluationReport:
     result: AnonymizationResult
     utility: dict[str, float]
     privacy: dict[str, Any]
-    are: float
+    #: ARE of the query workload (``None`` when the resources carry no
+    #: workload — a dataset with nothing to query).
+    are: float | None
     runtime_seconds: float
     phase_seconds: dict[str, float]
     generalized_value_frequencies: dict[str, dict[str, int]] = field(default_factory=dict)

@@ -119,13 +119,24 @@ class Session:
 
     # -- evaluation mode -------------------------------------------------------------------
     def evaluate(
-        self, config: AnonymizationConfig, resources: ExperimentResources | None = None
+        self,
+        config: AnonymizationConfig,
+        resources: ExperimentResources | None = None,
+        universe_mode: str = "original",
     ) -> EvaluationReport:
-        """Run one configuration and compute all Evaluation-mode indicators."""
+        """Run one configuration and compute all Evaluation-mode indicators.
+
+        ``universe_mode`` selects how ARE resolves generalized labels:
+        ``"original"`` (default) against the original dataset's attribute
+        domains — consistent with the utility-loss charging rule — and
+        ``"seed"`` against the hierarchies alone (the pre-universe regression
+        reference); see ``docs/queries.md``.
+        """
         evaluator = MethodEvaluator(
             self.dataset,
             resources or self.resources(),
             verify_privacy=self._verify_privacy,
+            universe_mode=universe_mode,
         )
         return evaluator.evaluate(config)
 
@@ -157,6 +168,7 @@ class Session:
         mode: str = "sequential",
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
+        universe_mode: str = "original",
     ) -> SweepResult:
         """Varying-parameter execution of a single configuration.
 
@@ -165,7 +177,8 @@ class Session:
         actually uses multiple cores); ``max_workers`` caps the pool.  The
         dataset travels to the workers through shared memory, and a
         persistent ``pool`` (see :meth:`worker_pool`) reuses the workers and
-        the export across calls.
+        the export across calls.  ``universe_mode`` selects the ARE label
+        resolution semantics (see :meth:`evaluate`).
         """
         experiment = VaryingParameterExperiment(
             self.dataset,
@@ -174,6 +187,7 @@ class Session:
             mode=mode,
             max_workers=max_workers,
             pool=pool,
+            universe_mode=universe_mode,
         )
         return experiment.run(config, ParameterSweep.from_range(parameter, start, end, step))
 
@@ -190,6 +204,7 @@ class Session:
         mode: str | None = None,
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
+        universe_mode: str = "original",
     ) -> ComparisonReport:
         """Run several configurations across a sweep and collect their series.
 
@@ -209,6 +224,7 @@ class Session:
             max_workers=max_workers,
             mode=mode,
             pool=pool,
+            universe_mode=universe_mode,
         )
         return comparator.compare(
             configurations, ParameterSweep.from_range(parameter, start, end, step)

@@ -6,8 +6,10 @@ from repro.queries.are import (
     average_relative_error,
     evaluate_query,
     relative_error,
+    workload_interpreters,
 )
 from repro.queries.query import (
+    UNIVERSE_MODES,
     Condition,
     Query,
     RangeCondition,
@@ -22,6 +24,8 @@ __all__ = [
     "average_relative_error",
     "evaluate_query",
     "relative_error",
+    "workload_interpreters",
+    "UNIVERSE_MODES",
     "Condition",
     "Query",
     "RangeCondition",

@@ -10,18 +10,28 @@ averaged::
 
 The ``floor`` (called a *sanity bound* in the literature) avoids dividing by
 zero for queries with no matching records.
+
+Estimates resolve generalized labels in one of two *universe modes*
+(``docs/queries.md``): ``"original"`` (the default) keys every label
+interpreter by the original dataset's attribute domains — captured here when
+the caller does not thread a prepared
+:class:`~repro.datasets.domains.DatasetDomains` snapshot — so root-generalized
+records contribute leaf-uniform probabilities consistent with the
+utility-loss charging rule; ``"seed"`` reproduces the hierarchy-only
+resolution (the regression reference).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from repro.datasets.dataset import Dataset
+from repro.datasets.domains import DatasetDomains
 from repro.exceptions import QueryError
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.index import LabelInterpreter, interpreter_for
-from repro.queries.query import Query
+from repro.queries.query import Query, _require_universe_mode
 from repro.queries.workload import QueryWorkload
 
 
@@ -72,11 +82,22 @@ def evaluate_query(
     hierarchies: Mapping[str, Hierarchy] | None = None,
     floor: float = 1.0,
     interpreters: Mapping[str, LabelInterpreter] | None = None,
+    *,
+    domains: DatasetDomains | None = None,
+    universe_mode: str = "original",
+    vectorized: bool = True,
 ) -> QueryEvaluation:
     """Evaluate one query on the original and the anonymized dataset."""
-    actual = float(query.count(original))
+    actual = float(query.count(original, vectorized=vectorized))
     estimate = float(
-        query.estimate(anonymized, hierarchies=hierarchies, interpreters=interpreters)
+        query.estimate(
+            anonymized,
+            hierarchies=hierarchies,
+            interpreters=interpreters,
+            domains=domains,
+            universe_mode=universe_mode,
+            vectorized=vectorized,
+        )
     )
     return QueryEvaluation(
         query=query,
@@ -88,28 +109,58 @@ def evaluate_query(
 
 def workload_interpreters(
     hierarchies: Mapping[str, Hierarchy] | None,
+    domains: DatasetDomains | None = None,
 ) -> dict[str, LabelInterpreter]:
-    """One shared label interpreter per hierarchy-backed attribute.
+    """One shared label interpreter per hierarchy- or domain-backed attribute.
 
     Built once per workload evaluation so every query of the workload resolves
     generalized labels through the same memoized index instead of re-walking
-    hierarchies per record per query.
+    hierarchies per record per query.  With a ``domains`` snapshot each
+    interpreter is keyed by its attribute's original domain (the
+    ``"original"`` universe mode); without one the interpreters resolve
+    against the hierarchies alone (the ``"seed"`` mode).
     """
+    hierarchies = dict(hierarchies or {})
+    attributes = set(hierarchies)
+    if domains is not None:
+        attributes |= set(domains.relational) | set(domains.items)
     return {
-        attribute: interpreter_for(hierarchy)
-        for attribute, hierarchy in (hierarchies or {}).items()
+        attribute: interpreter_for(
+            hierarchies.get(attribute),
+            domains.universe_for(attribute) if domains is not None else None,
+        )
+        for attribute in attributes
     }
 
 
 def average_relative_error(
-    workload: QueryWorkload,
+    workload: QueryWorkload | Iterable[Query],
     original: Dataset,
     anonymized: Dataset,
     hierarchies: Mapping[str, Hierarchy] | None = None,
     floor: float = 1.0,
+    *,
+    domains: DatasetDomains | None = None,
+    universe_mode: str = "original",
+    vectorized: bool = True,
 ) -> AreResult:
-    """Evaluate a whole workload and return the ARE with per-query detail."""
-    interpreters = workload_interpreters(hierarchies)
+    """Evaluate a whole workload and return the ARE with per-query detail.
+
+    ``domains`` threads a prepared snapshot of the original dataset's
+    attribute domains (the engine captures one in its experiment resources);
+    when omitted under ``universe_mode="original"`` it is captured from
+    ``original`` directly, so the universe-aware semantics never depend on
+    the caller remembering to pass it.
+    """
+    _require_universe_mode(universe_mode)
+    if workload is None:
+        raise QueryError("average_relative_error needs a query workload, got None")
+    if universe_mode == "original":
+        if domains is None:
+            domains = DatasetDomains.capture(original)
+    else:
+        domains = None  # the seed semantics ignore any supplied snapshot
+    interpreters = workload_interpreters(hierarchies, domains)
     per_query = tuple(
         evaluate_query(
             query,
@@ -118,8 +169,13 @@ def average_relative_error(
             hierarchies=hierarchies,
             floor=floor,
             interpreters=interpreters,
+            domains=domains,
+            universe_mode=universe_mode,
+            vectorized=vectorized,
         )
         for query in workload
     )
+    if not per_query:
+        raise QueryError("cannot compute the ARE of an empty query workload")
     are = sum(entry.relative_error for entry in per_query) / len(per_query)
     return AreResult(are=are, per_query=per_query)

@@ -11,6 +11,26 @@ A query can be answered exactly on the original dataset
 (:meth:`Query.estimate`): a generalized value may or may not stand for a
 matching original value, so each record contributes the probability that it
 matches, under the standard uniformity assumption.
+
+Label resolution supports two *universe modes* (see ``docs/queries.md``):
+
+* ``"seed"`` — labels resolve against their hierarchy alone.  The
+  hierarchy-free root ``*`` then stands for nothing and a root-generalized
+  record contributes probability 0, even though ``utility_loss`` charges the
+  same record as fully generalized.
+* ``"original"`` (the default) — labels resolve through interpreters keyed by
+  the *original* dataset's attribute domains
+  (:class:`~repro.datasets.domains.DatasetDomains`), so ``*`` and
+  hierarchy-free group labels get leaf-uniform match probabilities consistent
+  with the utility-loss charging rule.  Without a ``domains`` snapshot the
+  mode degrades to the seed semantics (there is no universe to resolve
+  against).
+
+Both :meth:`Query.count` and :meth:`Query.estimate` run on the columnar
+kernel layer by default (per-distinct-label probability tables gathered
+through :meth:`Dataset.columnar` code arrays, AND+popcount over posting
+bitsets); the per-record path is retained as the exact reference and the
+fallback for shapes the kernels do not cover.
 """
 
 from __future__ import annotations
@@ -18,10 +38,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+import numpy as np
+
+from repro.columnar import (
+    TransactionColumn,
+    intersect_rows,
+    mask_to_bitset,
+    popcount,
+    row_max,
+    sequential_sum,
+)
+from repro.columnar.relational import CategoricalColumn
 from repro.datasets.dataset import Dataset, Record
+from repro.datasets.domains import DatasetDomains
 from repro.exceptions import QueryError
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.index import LabelInterpreter, interpreter_for
+
+#: Valid values of the ``universe_mode`` switch.
+UNIVERSE_MODES = ("original", "seed")
+
+
+def _require_universe_mode(universe_mode: str) -> None:
+    if universe_mode not in UNIVERSE_MODES:
+        raise QueryError(
+            f"unknown universe mode {universe_mode!r}; expected one of {UNIVERSE_MODES}"
+        )
 
 
 @dataclass(frozen=True)
@@ -41,7 +83,16 @@ class RangeCondition:
         hierarchy: Hierarchy | None = None,
         interpreter: LabelInterpreter | None = None,
     ) -> float:
-        """Probability that a (possibly generalized) value satisfies the range."""
+        """Probability that a (possibly generalized) value satisfies the range.
+
+        Interval labels contribute their overlap fraction.  A label with no
+        numeric span resolves through the interpreter's restricted leaf sets
+        when the interpreter carries a universe (the ``"original"`` mode):
+        the hierarchy-free root ``*`` then matches with the fraction of the
+        attribute's original values inside the range instead of 0.  A
+        universe-less interpreter (the ``"seed"`` mode, and exact counting)
+        keeps the span-only semantics.
+        """
         if value is None:
             return 0.0
         if isinstance(value, (int, float)):
@@ -50,7 +101,9 @@ class RangeCondition:
             interpreter = interpreter_for(hierarchy)
         span = interpreter.span(value)
         if span is None:
-            return 0.0
+            if interpreter.universe is None:
+                return 0.0
+            return self._leaf_fraction(interpreter.restricted_leaves(value))
         low, high = span
         if high < self.low or low > self.high:
             return 0.0
@@ -58,6 +111,20 @@ class RangeCondition:
             return 1.0
         overlap = min(high, self.high) - max(low, self.low)
         return max(0.0, min(1.0, overlap / (high - low)))
+
+    def _leaf_fraction(self, leaves: frozenset[str]) -> float:
+        """Fraction of a label's (stringified) leaf values inside the range."""
+        if not leaves:
+            return 0.0
+        matching = 0
+        for leaf in leaves:
+            try:
+                number = float(leaf)
+            except (TypeError, ValueError):
+                continue
+            if self.low <= number <= self.high:
+                matching += 1
+        return matching / len(leaves)
 
     def to_dict(self) -> dict:
         return {"type": "range", "low": self.low, "high": self.high}
@@ -82,7 +149,16 @@ class ValueCondition:
         hierarchy: Hierarchy | None = None,
         interpreter: LabelInterpreter | None = None,
     ) -> float:
-        """Probability that a (possibly generalized) value is an accepted one."""
+        """Probability that a (possibly generalized) value is an accepted one.
+
+        Labels resolve through the interpreter's *restricted* leaf sets: an
+        interpreter keyed by the original dataset's attribute domain (the
+        ``"original"`` universe mode) counts only values the data actually
+        contains, so the generic root ``*`` matches with leaf-uniform
+        probability instead of 0.  A universe-less interpreter (the ``"seed"``
+        mode) restricts to nothing and reproduces the hierarchy-only
+        semantics.
+        """
         if value is None:
             return 0.0
         value = str(value)
@@ -90,7 +166,7 @@ class ValueCondition:
             return 1.0
         if interpreter is None:
             interpreter = interpreter_for(hierarchy)
-        leaves = interpreter.leaves(value)
+        leaves = interpreter.restricted_leaves(value)
         if not leaves:
             return 0.0
         matching = len(leaves & self.accepted)
@@ -150,14 +226,71 @@ class Query:
                 return False
         return True
 
-    def count(self, dataset: Dataset) -> int:
-        """Exact number of matching records (for original, truthful data)."""
+    def count(self, dataset: Dataset, vectorized: bool = True) -> int:
+        """Exact number of matching records (for original, truthful data).
+
+        ``vectorized`` answers through the columnar layer — per-distinct-value
+        match tables gathered over the relational code arrays, and an
+        AND+popcount over the required items' posting bitsets — falling back
+        to the per-record scan for shapes the kernel does not cover.
+        """
         transaction_attribute = self._transaction_attribute(dataset)
+        if self.items and transaction_attribute is None and len(dataset):
+            raise QueryError(
+                "query has item predicates but the dataset has no "
+                "transaction attribute"
+            )
+        if vectorized:
+            counted = self._count_columnar(dataset, transaction_attribute)
+            if counted is not None:
+                return counted
         return sum(
             1
             for record in dataset
             if self._matches_exactly(record, transaction_attribute)
         )
+
+    def _count_columnar(
+        self, dataset: Dataset, transaction_attribute: str | None
+    ) -> int | None:
+        """Kernel path of :meth:`count` (``None`` → caller takes the scan)."""
+        mask: np.ndarray | None = None
+        for attribute, condition in self.conditions.items():
+            column = dataset.columnar(attribute)
+            if not isinstance(column, CategoricalColumn):
+                return None  # condition on a set-valued attribute
+            if isinstance(condition, ValueCondition):
+                codes, labels = column.string_codes()
+                table = np.empty(len(labels) + 1, dtype=bool)
+                for code, label in enumerate(labels):
+                    table[code] = condition.match_probability(label) >= 1.0
+                table[len(labels)] = False  # missing cells never match
+                matches = table[codes]
+            else:
+                table = np.fromiter(
+                    (
+                        condition.match_probability(value) >= 1.0
+                        for value in column.values
+                    ),
+                    dtype=bool,
+                    count=len(column.values),
+                )
+                matches = table[column.codes]
+            mask = matches if mask is None else mask & matches
+        if not self.items:
+            return len(dataset) if mask is None else int(np.count_nonzero(mask))
+        if transaction_attribute is None:
+            return 0  # only reachable on an empty dataset (see count)
+        column = dataset.columnar(transaction_attribute)
+        if not isinstance(column, TransactionColumn):
+            return None  # item predicates against a single-valued attribute
+        tokens = [column.vocabulary.token(item) for item in self.items]
+        if any(token is None for token in tokens):
+            return 0  # an item absent from the data matches no record
+        bits = intersect_rows(column.bitset_postings(), tokens)
+        if mask is not None:
+            bits = bits & mask_to_bitset(mask)
+        return popcount(bits)
 
     # -- probabilistic evaluation -------------------------------------------------
     def estimate(
@@ -165,16 +298,33 @@ class Query:
         dataset: Dataset,
         hierarchies: Mapping[str, Hierarchy] | None = None,
         interpreters: Mapping[str, LabelInterpreter] | None = None,
+        *,
+        domains: DatasetDomains | None = None,
+        universe_mode: str = "original",
+        vectorized: bool = True,
     ) -> float:
         """Expected number of matching records in an anonymized dataset.
 
         Every record contributes the product of the per-predicate match
         probabilities (independence + uniformity assumptions, as in the
         query-answering evaluations of the anonymization literature).
-        ``interpreters`` maps attribute names to pre-built label interpreters
-        (one per hierarchy); missing entries are resolved through the shared
-        interpreter cache, so label resolution is memoized either way.
+        ``interpreters`` maps attribute names to pre-built label interpreters;
+        missing entries are resolved through the shared interpreter cache, so
+        label resolution is memoized either way.
+
+        ``domains`` is a :class:`~repro.datasets.domains.DatasetDomains`
+        snapshot of the *original* dataset; under
+        ``universe_mode="original"`` each attribute's interpreter is keyed by
+        its domain, so hierarchy-free generalized labels (the root ``*``,
+        COAT/PCTA item groups) resolve to leaf-uniform probabilities
+        consistent with the utility-loss charging rule.
+        ``universe_mode="seed"`` (or a missing snapshot) keeps the
+        hierarchy-only resolution.  ``vectorized`` scores the query through
+        the columnar estimation kernel, which matches the per-record path
+        bit for bit; the per-record path remains the exact reference and the
+        fallback.
         """
+        _require_universe_mode(universe_mode)
         hierarchies = hierarchies or {}
         interpreters = dict(interpreters or {})
         transaction_attribute = self._transaction_attribute(dataset)
@@ -185,7 +335,18 @@ class Query:
             )
         for attribute in (*self.conditions, transaction_attribute):
             if attribute is not None and attribute not in interpreters:
-                interpreters[attribute] = interpreter_for(hierarchies.get(attribute))
+                universe = None
+                if universe_mode == "original" and domains is not None:
+                    universe = domains.universe_for(attribute)
+                interpreters[attribute] = interpreter_for(
+                    hierarchies.get(attribute), universe
+                )
+        if vectorized:
+            estimated = self._estimate_columnar(
+                dataset, hierarchies, interpreters, transaction_attribute
+            )
+            if estimated is not None:
+                return estimated
         total = 0.0
         for record in dataset:
             probability = 1.0
@@ -204,6 +365,81 @@ class Query:
             total += probability
         return total
 
+    def _estimate_columnar(
+        self,
+        dataset: Dataset,
+        hierarchies: Mapping[str, Hierarchy],
+        interpreters: Mapping[str, LabelInterpreter],
+        transaction_attribute: str | None,
+    ) -> float | None:
+        """Kernel path of :meth:`estimate` (``None`` → caller takes the scan).
+
+        Each predicate is resolved once per *distinct* label into a
+        probability table and gathered per record through the columnar code
+        arrays; required items reduce per CSR row with ``maximum.reduceat``.
+        The multiplication and accumulation orders replicate the per-record
+        path exactly, so both paths agree to the last ulp.
+        """
+        if len(dataset) == 0:
+            return 0.0
+        probability = np.ones(len(dataset), dtype=np.float64)
+        for attribute, condition in self.conditions.items():
+            column = dataset.columnar(attribute)
+            if not isinstance(column, CategoricalColumn):
+                return None  # condition on a set-valued attribute
+            hierarchy = hierarchies.get(attribute)
+            interpreter = interpreters[attribute]
+            if isinstance(condition, ValueCondition):
+                # String-identity codes: the condition compares ``str(value)``
+                # and sends missing cells to 0, exactly the sentinel code.
+                codes, labels = column.string_codes()
+                table = np.empty(len(labels) + 1, dtype=np.float64)
+                for code, label in enumerate(labels):
+                    table[code] = condition.match_probability(
+                        label, hierarchy, interpreter
+                    )
+                table[len(labels)] = 0.0
+                probability *= table[codes]
+            else:
+                # Dictionary-key codes: cells sharing a code (25 vs 25.0) are
+                # numerically equal, which a range predicate cannot tell apart.
+                table = np.fromiter(
+                    (
+                        condition.match_probability(value, hierarchy, interpreter)
+                        for value in column.values
+                    ),
+                    dtype=np.float64,
+                    count=len(column.values),
+                )
+                probability *= np.take(table, column.codes)
+        if self.items:
+            column = dataset.columnar(transaction_attribute)
+            if not isinstance(column, TransactionColumn):
+                return None  # item predicates against a single-valued attribute
+            interpreter = interpreters[transaction_attribute]
+            vocabulary = column.vocabulary
+            # The per-record path computes the whole itemset product first and
+            # multiplies it into the record probability once; float
+            # multiplication is not associative, so the kernel must do the
+            # same to stay bit-for-bit equal.
+            itemset_probability = np.ones(len(dataset), dtype=np.float64)
+            for item in self.items:
+                weights = np.zeros(len(vocabulary), dtype=np.float64)
+                for token, label in enumerate(vocabulary.items):
+                    leaves = interpreter.restricted_leaves(label)
+                    if item in leaves:
+                        weights[token] = 1.0 / len(leaves)
+                own = vocabulary.token(item)
+                if own is not None:
+                    # Literal containment matches with certainty, regardless
+                    # of how the label resolves against the universe.
+                    weights[own] = 1.0
+                itemset_probability *= row_max(
+                    column.indptr, np.take(weights, column.tokens)
+                )
+            probability *= itemset_probability
+        return sequential_sum(probability)
+
     def _itemset_probability(
         self, itemset: frozenset, interpreter: LabelInterpreter
     ) -> float:
@@ -213,7 +449,7 @@ class Query:
                 continue
             best = 0.0
             for generalized in itemset:
-                leaves = interpreter.leaves(generalized)
+                leaves = interpreter.restricted_leaves(generalized)
                 if item in leaves:
                     best = max(best, 1.0 / len(leaves))
             probability *= best

@@ -48,10 +48,19 @@ class QueryWorkload:
         self._queries.append(query)
 
     def remove(self, index: int) -> None:
+        """Delete the query at ``index``; the last query cannot be removed.
+
+        Draining a workload to zero queries would break the constructor
+        invariant every consumer relies on (ARE divides by the workload
+        size), so the Queries Editor's delete action refuses it.
+        """
         try:
-            del self._queries[index]
+            self._queries[index]
         except IndexError:
             raise QueryError(f"no query at index {index}") from None
+        if len(self._queries) == 1:
+            raise QueryError("cannot remove the last query of a workload")
+        del self._queries[index]
 
     # -- serialisation ----------------------------------------------------------
     def to_dict(self) -> dict:
@@ -99,6 +108,13 @@ def generate_query_workload(
     width ``range_width`` (fraction of the attribute's domain) centred on the
     record's value, categorical predicates accept the record's value, and item
     predicates require up to ``n_items`` items from the record's basket.
+
+    A drawn record can yield no predicates at all (all chosen relational
+    values ``None`` and an empty basket); such draws are redrawn, up to a
+    bounded ``10 * n_queries`` total attempts, so sparse datasets still get
+    full-size workloads.  Only when the attempt budget is exhausted may the
+    workload come back smaller than ``n_queries`` (it is never empty — that
+    raises :class:`~repro.exceptions.QueryError`).
     """
     if n_queries <= 0:
         raise QueryError("n_queries must be positive")
@@ -126,7 +142,10 @@ def generate_query_workload(
     n_records = len(dataset)
     if n_records == 0:
         raise QueryError("cannot generate queries for an empty dataset")
-    for _ in range(n_queries):
+    attempts = 0
+    max_attempts = 10 * n_queries
+    while len(queries) < n_queries and attempts < max_attempts:
+        attempts += 1
         record = dataset[int(rng.integers(n_records))]
         conditions = {}
         # Use one or two relational predicates per query, like the paper's

@@ -74,3 +74,39 @@ class TestEvaluationReport:
         second = evaluator.evaluate(transaction_config("apriori", k=6, m=1))
         assert resources.workload is not None
         assert first.are <= second.are + 1e9  # both computed with the same workload
+
+
+class TestUniverseAwareness:
+    def test_prepare_captures_domain_snapshot(self, rt):
+        resources = ExperimentResources.prepare(rt, transaction_config("apriori", k=4))
+        assert resources.domains is not None
+        assert resources.domains.universe_for("Items") == frozenset(
+            rt.item_universe("Items")
+        )
+        assert "domains" in resources.summary()
+
+    def test_evaluator_supports_seed_mode(self, rt):
+        resources = ExperimentResources.prepare(rt, transaction_config("coat", k=4))
+        original = MethodEvaluator(rt, resources).evaluate(
+            transaction_config("coat", k=20)
+        )
+        seed = MethodEvaluator(rt, resources, universe_mode="seed").evaluate(
+            transaction_config("coat", k=20)
+        )
+        assert original.are is not None and seed.are is not None
+        # Same workload, same output; only the label resolution differs.
+        assert original.are <= seed.are + 1e-9
+
+    def test_unqueryable_dataset_reports_are_none(self):
+        from repro.datasets import Attribute, Dataset, Schema
+        from repro.engine import relational_config
+
+        schema = Schema([Attribute.categorical("A", quasi_identifier=False)])
+        dataset = Dataset(schema, [{"A": value} for value in "xyxyxy"])
+        evaluator = MethodEvaluator(dataset, ExperimentResources())
+        report = evaluator.evaluate(
+            relational_config("cluster", k=2, relational_attributes=["A"])
+        )
+        assert report.are is None
+        assert evaluator.resources.workload is None
+        assert report.summary()["are"] is None

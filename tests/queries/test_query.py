@@ -2,10 +2,16 @@
 
 import pytest
 
-from repro.datasets import Attribute, Dataset, Schema, toy_rt_dataset
+from repro.datasets import Attribute, Dataset, DatasetDomains, Schema, toy_rt_dataset
 from repro.exceptions import QueryError
 from repro.hierarchy import build_hierarchies_for_dataset
-from repro.queries import Query, RangeCondition, ValueCondition, condition_from_dict
+from repro.queries import (
+    UNIVERSE_MODES,
+    Query,
+    RangeCondition,
+    ValueCondition,
+    condition_from_dict,
+)
 
 
 @pytest.fixture
@@ -132,3 +138,149 @@ class TestQueryEstimate:
         rebuilt = Query.from_dict(query.to_dict())
         assert rebuilt.count(dataset) == query.count(dataset)
         assert rebuilt.items == query.items
+
+
+class TestUniverseModes:
+    """The ``"original"`` mode resolves hierarchy-free labels to the domain."""
+
+    def test_unknown_mode_rejected(self, dataset):
+        with pytest.raises(QueryError):
+            Query(items=["bread"]).estimate(dataset, universe_mode="bogus")
+
+    def test_root_items_resolve_against_item_universe(self):
+        schema = Schema([Attribute.transaction("Items")])
+        original = Dataset(
+            schema, [{"Items": ["a", "b"]}, {"Items": ["b", "c"]}, {"Items": ["c"]}]
+        )
+        rooted = Dataset(schema, [{"Items": ["*"]}] * 3)
+        domains = DatasetDomains.capture(original)
+        query = Query(items=["b"])
+        # Seed semantics: the hierarchy-free root stands for nothing.
+        assert query.estimate(rooted, universe_mode="seed") == 0.0
+        # Universe semantics: leaf-uniform over the 3-item universe.
+        assert query.estimate(rooted, domains=domains) == pytest.approx(1.0)
+        # Without a snapshot the original mode has nothing to resolve against.
+        assert query.estimate(rooted) == 0.0
+
+    def test_root_numeric_label_resolves_against_domain(self):
+        schema = Schema([Attribute.numeric("Age")])
+        original = Dataset(schema, [{"Age": age} for age in (20, 30, 40, 60)])
+        rooted = Dataset(schema, [{"Age": "*"}] * 4)
+        domains = DatasetDomains.capture(original)
+        query = Query(conditions={"Age": RangeCondition(10, 50)})
+        assert query.estimate(rooted, universe_mode="seed") == 0.0
+        # 3 of the 4 original ages fall inside the range: 3/4 per record.
+        assert query.estimate(rooted, domains=domains) == pytest.approx(3.0)
+        assert query.estimate(
+            rooted, domains=domains, vectorized=False
+        ) == query.estimate(rooted, domains=domains)
+
+    def test_root_relational_label_resolves_against_domain(self):
+        schema = Schema([Attribute.categorical("Edu")])
+        original = Dataset(schema, [{"Edu": level} for level in ("BS", "MS", "PhD")])
+        rooted = Dataset(schema, [{"Edu": "*"}] * 3)
+        domains = DatasetDomains.capture(original)
+        query = Query(conditions={"Edu": ValueCondition(["BS"])})
+        assert query.estimate(rooted, universe_mode="seed") == 0.0
+        assert query.estimate(rooted, domains=domains) == pytest.approx(1.0)
+
+    def test_group_labels_restricted_to_domain(self):
+        schema = Schema([Attribute.transaction("Items")])
+        original = Dataset(schema, [{"Items": ["a", "b"]}, {"Items": ["a"]}])
+        # The group mentions an item the original data never contained.
+        grouped = Dataset(schema, [{"Items": ["(a,b,z)"]}] * 2)
+        domains = DatasetDomains.capture(original)
+        query = Query(items=["a"])
+        assert query.estimate(grouped, universe_mode="seed") == pytest.approx(2 / 3)
+        assert query.estimate(grouped, domains=domains) == pytest.approx(1.0)
+
+    def test_seed_mode_ignores_supplied_domains(self):
+        schema = Schema([Attribute.transaction("Items")])
+        original = Dataset(schema, [{"Items": ["a", "b"]}])
+        rooted = Dataset(schema, [{"Items": ["*"]}])
+        domains = DatasetDomains.capture(original)
+        query = Query(items=["a"])
+        assert (
+            query.estimate(rooted, domains=domains, universe_mode="seed") == 0.0
+        )
+
+    def test_modes_are_documented_pair(self):
+        assert UNIVERSE_MODES == ("original", "seed")
+
+
+class TestColumnarKernel:
+    """The vectorized count/estimate paths match the per-record reference."""
+
+    def test_count_kernel_matches_scan(self, dataset):
+        queries = [
+            Query(conditions={"Age": RangeCondition(20, 40)}),
+            Query(items=["bread", "milk"]),
+            Query(
+                conditions={"Education": ValueCondition(["HS-grad"])}, items=["wine"]
+            ),
+            Query(items=["no-such-item"]),
+        ]
+        for query in queries:
+            assert query.count(dataset) == query.count(dataset, vectorized=False)
+
+    def test_estimate_kernel_bit_for_bit(self, dataset):
+        hierarchies = build_hierarchies_for_dataset(dataset, fanout=3)
+        domains = DatasetDomains.capture(dataset)
+        query = Query(
+            conditions={
+                "Age": RangeCondition(20, 40),
+                "Education": ValueCondition(["Masters"]),
+            },
+            items=["wine"],
+        )
+        for mode in ("seed", "original"):
+            kernel = query.estimate(
+                dataset, hierarchies, domains=domains, universe_mode=mode
+            )
+            scalar = query.estimate(
+                dataset,
+                hierarchies,
+                domains=domains,
+                universe_mode=mode,
+                vectorized=False,
+            )
+            assert kernel == scalar
+
+    def test_kernel_multiplication_order_with_several_items(self):
+        # The scalar path multiplies the whole itemset product into the
+        # record probability once; folding the factors in one at a time
+        # differs in the last ulp (float multiplication is not associative).
+        schema = Schema(
+            [Attribute.categorical("City"), Attribute.transaction("Items")]
+        )
+        original = Dataset(
+            schema,
+            [
+                {"City": city, "Items": ["a", "b", "c", "d", "e"]}
+                for city in ("x", "y", "z")
+            ],
+        )
+        anonymized = Dataset(
+            schema, [{"City": "*", "Items": ["(a,b,c,d,e)", "(a,c,e)"]}] * 3
+        )
+        domains = DatasetDomains.capture(original)
+        query = Query(conditions={"City": ValueCondition(["x"])}, items=["a", "c"])
+        kernel = query.estimate(anonymized, domains=domains)
+        scalar = query.estimate(anonymized, domains=domains, vectorized=False)
+        assert kernel == scalar  # bit-for-bit, not approximately
+
+    def test_kernel_handles_empty_itemsets(self):
+        schema = Schema([Attribute.transaction("Items")])
+        anonymized = Dataset(schema, [{"Items": []}, {"Items": ["a"]}])
+        query = Query(items=["a"])
+        assert query.estimate(anonymized) == query.estimate(
+            anonymized, vectorized=False
+        )
+        assert query.estimate(anonymized) == pytest.approx(1.0)
+
+    def test_kernel_handles_empty_dataset(self):
+        schema = Schema([Attribute.categorical("Edu")])
+        empty = Dataset(schema, [])
+        query = Query(conditions={"Edu": ValueCondition(["BS"])})
+        assert query.count(empty) == 0
+        assert query.estimate(empty) == 0.0

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.datasets import toy_rt_dataset, generate_rt_dataset
+from repro.datasets import (
+    Attribute,
+    Dataset,
+    Schema,
+    generate_rt_dataset,
+    toy_rt_dataset,
+)
 from repro.exceptions import QueryError
 from repro.queries import (
     Query,
@@ -33,6 +39,37 @@ class TestWorkload:
         assert len(workload) == 1
         with pytest.raises(QueryError):
             workload.remove(10)
+
+    def test_remove_refuses_to_drain_the_workload(self):
+        workload = QueryWorkload([Query(items=["a"])])
+        with pytest.raises(QueryError, match="last query"):
+            workload.remove(0)
+        assert len(workload) == 1  # the invariant survives the refusal
+        # A bad index is still reported as such, not as a draining refusal.
+        with pytest.raises(QueryError, match="no query at index"):
+            workload.remove(10)
+
+    def test_generation_redraws_unusable_records(self):
+        # Most records yield no predicates (no QI values, empty basket);
+        # bounded redrawing still fills the workload from the usable ones.
+        schema = Schema(
+            [Attribute.categorical("City"), Attribute.transaction("Items")]
+        )
+        rows = [{"City": None, "Items": []}] * 12 + [
+            {"City": "athens", "Items": ["a", "b"]},
+            {"City": "berlin", "Items": ["b", "c"]},
+        ]
+        sparse = Dataset(schema, rows)
+        workload = generate_query_workload(sparse, n_queries=8, seed=2)
+        assert len(workload) == 8
+
+    def test_generation_raises_when_nothing_is_queryable(self):
+        schema = Schema(
+            [Attribute.categorical("City"), Attribute.transaction("Items")]
+        )
+        unusable = Dataset(schema, [{"City": None, "Items": []}] * 5)
+        with pytest.raises(QueryError):
+            generate_query_workload(unusable, n_queries=4, seed=0)
 
     def test_generation_grounded_in_data(self, rt):
         workload = generate_query_workload(rt, n_queries=25, seed=3)
@@ -106,3 +143,30 @@ class TestAre:
         assert evaluation.actual == 4
         assert evaluation.estimate == pytest.approx(4)
         assert evaluation.relative_error == pytest.approx(0.0)
+
+    def test_missing_workload_raises_clear_error(self):
+        dataset = toy_rt_dataset()
+        with pytest.raises(QueryError, match="workload"):
+            average_relative_error(None, dataset, dataset)
+
+    def test_empty_workload_raises_clear_error(self):
+        dataset = toy_rt_dataset()
+        with pytest.raises(QueryError, match="empty"):
+            average_relative_error([], dataset, dataset)
+
+    def test_unknown_universe_mode_rejected(self):
+        dataset = toy_rt_dataset()
+        with pytest.raises(QueryError):
+            average_relative_error(
+                [Query(items=["bread"])], dataset, dataset, universe_mode="bogus"
+            )
+
+    def test_universe_modes_agree_on_identical_datasets(self):
+        dataset = toy_rt_dataset()
+        workload = QueryWorkload(
+            [Query(conditions={"Age": RangeCondition(20, 50)}), Query(items=["bread"])]
+        )
+        seed = average_relative_error(workload, dataset, dataset, universe_mode="seed")
+        original = average_relative_error(workload, dataset, dataset)
+        assert seed.are == pytest.approx(0.0)
+        assert original.are == pytest.approx(0.0)
