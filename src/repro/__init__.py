@@ -34,6 +34,8 @@ configuration helpers ``relational_config`` / ``transaction_config`` /
     print(report.summary())
 """
 
+from __future__ import annotations
+
 from repro.datasets import (
     Attribute,
     AttributeKind,

@@ -6,6 +6,8 @@ PCTA, Apriori, LRA, VPA) and the three RT bounding methods (Rmerger, Tmerger,
 RTmerger) that combine one algorithm of each kind.
 """
 
+from __future__ import annotations
+
 from repro.algorithms.base import (
     AnonymizationResult,
     Anonymizer,

@@ -1,5 +1,7 @@
 """Relational (single-valued attribute) anonymization algorithms."""
 
+from __future__ import annotations
+
 from repro.algorithms.relational.cluster import ClusterAnonymizer
 from repro.algorithms.relational.fullsubtree import FullSubtreeBottomUp
 from repro.algorithms.relational.incognito import Incognito

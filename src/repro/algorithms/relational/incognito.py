@@ -121,5 +121,9 @@ class Incognito(Anonymizer):
             )
             if best is None or gcp < best[2]:
                 best = (node, candidate, gcp)
-        assert best is not None  # candidates is non-empty
+        if best is None:
+            raise AlgorithmError(
+                "incognito produced no k-anonymous candidate to rank; the "
+                "minimal-solution set was empty"
+            )
         return best

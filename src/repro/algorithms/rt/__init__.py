@@ -1,5 +1,7 @@
 """RT-dataset anonymization: bounding methods and algorithm combinations."""
 
+from __future__ import annotations
+
 from repro.algorithms.rt.bounding import (
     RtBoundingAnonymizer,
     Rmerger,

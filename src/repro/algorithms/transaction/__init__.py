@@ -1,5 +1,7 @@
 """Transaction (set-valued attribute) anonymization algorithms."""
 
+from __future__ import annotations
+
 from repro.algorithms.transaction.apriori import AprioriAnonymizer
 from repro.algorithms.transaction.coat import Coat
 from repro.algorithms.transaction.lra import LraAnonymizer

@@ -1,0 +1,18 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; redirect stdout to devnull
+        # so the interpreter's shutdown flush does not crash again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

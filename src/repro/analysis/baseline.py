@@ -1,0 +1,129 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline entry acknowledges one pre-existing finding without fixing it:
+the finding still shows up (marked *baselined*) but does not fail the run.
+Entries are keyed by a **fingerprint** — a hash of the rule code, the file,
+the enclosing symbol and the normalized source line — so they survive
+unrelated line-number drift but expire as soon as the offending line itself
+changes (at which point the finding resurfaces and must be re-justified or
+fixed).  Every entry carries a human reason; ``--write-baseline`` refuses to
+invent one, stamping ``TODO: justify or fix`` for a reviewer to replace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.analysis.core import Finding
+from repro.exceptions import AnalysisError
+
+#: Default baseline location, relative to the analysis root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(finding: Finding, lines: Mapping[str, list[str]] | None = None, line_text: str = "") -> str:
+    """Stable identity of a finding across unrelated edits."""
+    normalized = " ".join(line_text.split())
+    payload = "|".join((finding.code, finding.path, finding.symbol, normalized))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    code: str
+    path: str
+    symbol: str
+    reason: str
+
+
+class Baseline:
+    """The set of grandfathered findings, loaded from / saved to JSON."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries = {entry.fingerprint: entry for entry in entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def lookup(self, print_: str) -> BaselineEntry | None:
+        return self.entries.get(print_)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        baseline_path = Path(path)
+        if not baseline_path.exists():
+            return cls()
+        try:
+            raw = json.loads(baseline_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise AnalysisError(
+                f"cannot read baseline {baseline_path}: {error}"
+            ) from error
+        if raw.get("version") != _FORMAT_VERSION:
+            raise AnalysisError(
+                f"baseline {baseline_path} has unsupported version "
+                f"{raw.get('version')!r} (expected {_FORMAT_VERSION})"
+            )
+        entries = []
+        for item in raw.get("entries", []):
+            missing = {"fingerprint", "code", "path", "reason"} - set(item)
+            if missing:
+                raise AnalysisError(
+                    f"baseline {baseline_path}: entry missing {sorted(missing)}"
+                )
+            entries.append(
+                BaselineEntry(
+                    fingerprint=item["fingerprint"],
+                    code=item["code"],
+                    path=item["path"],
+                    symbol=item.get("symbol", ""),
+                    reason=item["reason"],
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: Path | str) -> None:
+        """Write the baseline deterministically (sorted by path, then code)."""
+        ordered = sorted(
+            self.entries.values(), key=lambda e: (e.path, e.code, e.fingerprint)
+        )
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "code": entry.code,
+                    "path": entry.path,
+                    "symbol": entry.symbol,
+                    "reason": entry.reason,
+                }
+                for entry in ordered
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings_with_lines: Iterable[tuple[Finding, str]],
+        reason: str = "TODO: justify or fix",
+    ) -> "Baseline":
+        """Baseline every (finding, source line) pair with a placeholder reason."""
+        return cls(
+            BaselineEntry(
+                fingerprint=fingerprint(finding, line_text=line_text),
+                code=finding.code,
+                path=finding.path,
+                symbol=finding.symbol,
+                reason=reason,
+            )
+            for finding, line_text in findings_with_lines
+        )

@@ -1,0 +1,204 @@
+"""Command-line driver: ``python -m repro.analysis [paths]``.
+
+Exit codes: 0 — clean (modulo suppressions and baseline), 1 — new findings,
+2 — the analyzer itself was misused (bad path, bad manifest, unknown rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import textwrap
+from dataclasses import replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, fingerprint
+from repro.analysis.core import (
+    AnalysisReport,
+    Finding,
+    ModuleContext,
+    all_rules,
+    analyze_paths,
+    rule_by_code,
+)
+from repro.analysis.manifest import InvariantManifest
+from repro.analysis.reporting import render_json, render_text
+from repro.exceptions import AnalysisError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root that manifest/baseline paths are relative to "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings in text output",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="run only these rule codes (repeatable; REP000 always runs)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        help="alternative invariant manifest (default: the packaged one)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file (report grandfathered findings as new)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current new findings to the baseline file and exit 0; "
+        "each entry gets a placeholder reason you must edit before committing",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print the rationale for one rule code and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rule codes and exit",
+    )
+    return parser
+
+
+def _explain(code: str) -> int:
+    rule = rule_by_code(code)
+    print(f"{rule.code} ({rule.name}): {rule.summary}")
+    print()
+    print(textwrap.fill(rule.explanation, width=78))
+    return 0
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name:<24} {rule.summary}")
+    return 0
+
+
+def _line_text(
+    root: Path, finding: Finding, lines_by_path: dict[str, list[str]]
+) -> str:
+    """Source text of the finding's line ('' when unavailable)."""
+    lines = lines_by_path.get(finding.path)
+    if lines is None:
+        try:
+            lines = (root / finding.path).read_text().splitlines()
+        except (OSError, UnicodeDecodeError):
+            lines = []
+        lines_by_path[finding.path] = lines
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1]
+    return ""
+
+
+def _apply_baseline(
+    report: AnalysisReport,
+    baseline: Baseline,
+    root: Path,
+    lines_by_path: dict[str, list[str]],
+) -> AnalysisReport:
+    resolved: list[Finding] = []
+    for finding in report.findings:
+        # REP000 findings (malformed suppressions, parse failures) cannot be
+        # grandfathered: they are defects in the escape hatches themselves.
+        if finding.is_new and finding.code != "REP000":
+            entry = baseline.lookup(
+                fingerprint(
+                    finding, line_text=_line_text(root, finding, lines_by_path)
+                )
+            )
+            if entry is not None:
+                finding = replace(
+                    finding, baselined=True, baseline_reason=entry.reason
+                )
+        resolved.append(finding)
+    return AnalysisReport(findings=resolved, analyzed_files=report.analyzed_files)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.explain:
+            return _explain(args.explain)
+        if args.list_rules:
+            return _list_rules()
+
+        root = Path(args.root).resolve() if args.root else Path.cwd()
+        manifest = InvariantManifest.load(args.manifest)
+        lines_by_path: dict[str, list[str]] = {}
+
+        def remember(module: ModuleContext) -> None:
+            lines_by_path[module.relpath] = module.lines
+
+        report = analyze_paths(
+            args.paths,
+            root=root,
+            manifest=manifest,
+            select=args.select,
+            on_module=remember,
+        )
+
+        baseline_path = (
+            Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+        )
+        if args.write_baseline:
+            entries = Baseline.from_findings(
+                (finding, _line_text(root, finding, lines_by_path))
+                for finding in report.new_findings
+                if finding.code != "REP000"
+            )
+            entries.save(baseline_path)
+            print(
+                f"wrote {len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "
+                f"to {baseline_path}; replace the placeholder reasons before "
+                f"committing"
+            )
+            return 0
+        if not args.no_baseline:
+            report = _apply_baseline(
+                report, Baseline.load(baseline_path), root, lines_by_path
+            )
+    except AnalysisError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return report.exit_code

@@ -1,0 +1,67 @@
+"""Text and JSON reporters for analysis runs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import AnalysisReport, Finding
+
+
+def _status(finding: Finding) -> str:
+    if finding.suppressed:
+        return "suppressed"
+    if finding.baselined:
+        return "baselined"
+    return "new"
+
+
+def render_text(report: AnalysisReport, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary line.
+
+    By default only *new* findings are listed; ``verbose`` also lists the
+    suppressed and baselined ones (tagged), which is how you audit what the
+    escape hatches are currently hiding.
+    """
+    lines: list[str] = []
+    for finding in report.findings:
+        if not verbose and not finding.is_new:
+            continue
+        tag = "" if finding.is_new else f" ({_status(finding)})"
+        where = f" in {finding.symbol}" if finding.symbol else ""
+        lines.append(
+            f"{finding.location()}: {finding.code} {finding.message}{where}{tag}"
+        )
+    lines.append(
+        f"{len(report.new_findings)} new finding(s), "
+        f"{len(report.suppressed_findings)} suppressed, "
+        f"{len(report.baselined_findings)} baselined "
+        f"({report.analyzed_files} files analyzed)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-readable report (stable key order, one object per finding)."""
+    payload = {
+        "summary": {
+            "analyzed_files": report.analyzed_files,
+            "new": len(report.new_findings),
+            "suppressed": len(report.suppressed_findings),
+            "baselined": len(report.baselined_findings),
+            "exit_code": report.exit_code,
+        },
+        "findings": [
+            {
+                "code": finding.code,
+                "message": finding.message,
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "symbol": finding.symbol,
+                "status": _status(finding),
+                "reason": finding.suppression_reason or finding.baseline_reason,
+            }
+            for finding in report.findings
+        ],
+    }
+    return json.dumps(payload, indent=2)

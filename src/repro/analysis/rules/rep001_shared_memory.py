@@ -1,0 +1,127 @@
+"""REP001 — shared-memory segments must have a reachable unlink.
+
+A ``SharedMemory(create=True)`` segment is a kernel object: if the process
+exits without ``unlink()`` the segment leaks in ``/dev/shm`` until reboot.
+PR 4's export protocol guards every segment with ``try/finally`` plus a
+``weakref.finalize`` backstop; this rule makes that discipline mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.manifest import InvariantManifest
+
+
+def _is_shared_memory_create(node: ast.Call) -> bool:
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else None
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    if name != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _calls_helper(nodes: Iterable[ast.AST], helpers: tuple[str, ...]) -> bool:
+    for root in nodes:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in helpers:
+                return True
+    return False
+
+
+def _is_finalize_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "finalize"
+    ) or (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "finalize"
+    )
+
+
+@register
+class SharedMemoryLifecycle(Rule):
+    code = "REP001"
+    name = "shared-memory-lifecycle"
+    summary = "SharedMemory(create=True) needs an unlink reachable on every exit path"
+    explanation = (
+        "Creating a shared-memory segment allocates a named kernel object "
+        "that outlives the process unless unlink() runs.  Every "
+        "SharedMemory(create=True) call must therefore sit in a scope that "
+        "guarantees cleanup: a try/finally (or an except handler that cleans "
+        "up and re-raises) calling unlink/close or one of the manifest's "
+        "cleanup_helpers, a with-statement, or a weakref.finalize guard "
+        "registered in the same scope (the pattern SharedDatasetExport uses). "
+        "Without one, a crash between creation and the eventual cleanup call "
+        "leaks the segment in /dev/shm."
+    )
+
+    def check_module(
+        self, module: ModuleContext, manifest: InvariantManifest
+    ) -> Iterable[Finding]:
+        helpers = tuple(manifest.cleanup_helpers) or ("unlink", "close")
+        for node in module.walk():
+            if not (isinstance(node, ast.Call) and _is_shared_memory_create(node)):
+                continue
+            if not self._is_guarded(module, node, helpers):
+                yield module.finding(
+                    self,
+                    node,
+                    "SharedMemory(create=True) without a reachable unlink "
+                    "(wrap in try/finally, a context manager, or register a "
+                    "weakref.finalize guard in the same scope)",
+                )
+
+    def _is_guarded(
+        self, module: ModuleContext, call: ast.Call, helpers: tuple[str, ...]
+    ) -> bool:
+        scope: ast.AST = module.enclosing_function(call) or module.tree
+        for candidate in self._scope_nodes(scope):
+            if _is_finalize_call(candidate):
+                return True
+            if isinstance(candidate, ast.With):
+                for item in candidate.items:
+                    if call in ast.walk(item.context_expr):
+                        return True
+            if isinstance(candidate, ast.Try):
+                if _calls_helper(candidate.finalbody, helpers):
+                    return True
+                for handler in candidate.handlers:
+                    cleans = _calls_helper(handler.body, helpers)
+                    reraises = any(
+                        isinstance(inner, ast.Raise)
+                        for stmt in handler.body
+                        for inner in ast.walk(stmt)
+                    )
+                    if cleans and reraises:
+                        return True
+        return False
+
+    def _scope_nodes(self, scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk the scope without descending into nested function bodies."""
+        stack: list[ast.AST] = [scope]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                stack.append(child)

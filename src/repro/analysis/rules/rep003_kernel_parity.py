@@ -1,0 +1,73 @@
+"""REP003 — every vectorized kernel declares a scalar parity reference.
+
+The columnar kernels of PRs 3–5 are only trustworthy because each one has a
+scalar twin (a retained per-record code path or a brute-force reference in
+the property-test suite) pinned equal by tests.  The parity manifest
+(``[[rep003.pairs]]`` in ``invariants.toml``) records those twins; this rule
+fails when a kernel module grows a public function with no declared
+fallback, or when a manifest reference goes stale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, Project, Rule, register
+
+
+@register
+class KernelParity(Rule):
+    code = "REP003"
+    name = "kernel-scalar-parity"
+    summary = "vectorized kernels must declare a resolvable scalar fallback in the manifest"
+    explanation = (
+        "Every public module-level function of the manifest's kernel_modules "
+        "must appear as a kernel in a [[rep003.pairs]] entry naming its "
+        "scalar equivalence reference (the per-record code path it replaced, "
+        "or the brute-force oracle in tests/property).  Both sides of every "
+        "pair must resolve to real symbols — a rename or deletion that "
+        "orphans a manifest entry is exactly the silent parity-rot this rule "
+        "exists to catch.  Adding a kernel therefore means adding a manifest "
+        "entry *and* the equivalence test it points at."
+    )
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        manifest = project.manifest
+        declared = {pair.kernel for pair in manifest.parity_pairs}
+
+        for relpath in manifest.kernel_modules:
+            module = project.module(relpath)
+            if module is None:
+                continue
+            for node in ast.iter_child_nodes(module.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if node.name.startswith("_"):
+                    continue
+                reference = f"{relpath}::{node.name}"
+                if reference not in declared:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"kernel function {node.name}() has no "
+                        f"[[rep003.pairs]] entry; declare its scalar "
+                        f"fallback in invariants.toml",
+                    )
+
+        for pair in manifest.parity_pairs:
+            for side, reference in (("kernel", pair.kernel), ("fallback", pair.fallback)):
+                if project.resolves(reference):
+                    continue
+                path, _, symbol = reference.partition("::")
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"stale manifest {side} reference {reference!r}: "
+                        f"symbol not found; update the [[rep003.pairs]] entry"
+                    ),
+                    path=path,
+                    line=1,
+                    column=0,
+                    symbol=symbol,
+                )

@@ -1,0 +1,70 @@
+"""REP004 — no per-record Python loops in the hot modules.
+
+The modules listed as ``hot_modules`` were rebuilt on columnar kernels
+precisely to remove ``for record in ...records`` loops from the scoring and
+merge paths.  A new per-record loop there is a silent 10–100x regression
+that no correctness test will catch; the retained scalar fallbacks are
+exempted by qualified name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.manifest import InvariantManifest
+
+_RECORD_ITER_NAMES = frozenset({"records", "_records"})
+
+
+def _iterates_records(iter_expr: ast.expr) -> bool:
+    for node in ast.walk(iter_expr):
+        if isinstance(node, ast.Attribute) and node.attr in _RECORD_ITER_NAMES:
+            return True
+        if isinstance(node, ast.Name) and node.id in _RECORD_ITER_NAMES:
+            return True
+    return False
+
+
+@register
+class HotPathLoops(Rule):
+    code = "REP004"
+    name = "hot-path-loop-ban"
+    summary = "manifest-declared hot modules must not grow per-record loops"
+    explanation = (
+        "Modules listed in [rep004] hot_modules score or merge via columnar "
+        "kernels; their per-record loops were deliberately removed (or "
+        "demoted to declared scalar fallbacks).  A `for ... in X.records` "
+        "loop added anywhere else in those modules reintroduces O(records) "
+        "Python-level work on a path that runs once per candidate per "
+        "iteration — a large slowdown that stays invisible to correctness "
+        "tests.  Either use the columnar kernel, or register the function as "
+        "a scalar fallback in the manifest (with the parity test REP003 "
+        "demands)."
+    )
+
+    def check_module(
+        self, module: ModuleContext, manifest: InvariantManifest
+    ) -> Iterable[Finding]:
+        if module.relpath not in manifest.hot_modules:
+            return
+        fallbacks = manifest.scalar_fallbacks
+        for node in module.walk():
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not _iterates_records(node.iter):
+                continue
+            site = f"{module.relpath}::{module.qualname(node)}"
+            if any(
+                site == fallback or site.startswith(fallback + ".")
+                for fallback in fallbacks
+            ):
+                continue
+            yield module.finding(
+                self,
+                node,
+                "per-record loop in a hot module; use the columnar kernel "
+                "or declare this function as a scalar fallback in the "
+                "manifest",
+            )

@@ -1,0 +1,95 @@
+"""REP005 — exception discipline in library code.
+
+Two habits this rule bans inside the ``[rep005] scope`` prefixes:
+
+* ``except Exception`` (or bare ``except``) that swallows — every broad
+  handler must re-raise or convert into a ``repro.exceptions`` type via
+  ``raise ... from error``, unless the site is allow-listed in the manifest
+  as defensive cleanup (e.g. best-effort segment unlinking).
+* ``assert`` for runtime validation — asserts vanish under ``python -O``,
+  so invariants the algorithms rely on must raise a typed error instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.manifest import InvariantManifest
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True
+    if isinstance(kind, ast.Name):
+        return kind.id in _BROAD_NAMES
+    if isinstance(kind, ast.Tuple):
+        return any(
+            isinstance(element, ast.Name) and element.id in _BROAD_NAMES
+            for element in kind.elts
+        )
+    return False
+
+
+def _body_nodes(handler: ast.ExceptHandler) -> Iterator[ast.AST]:
+    """Walk the handler body without descending into nested functions."""
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+@register
+class ExceptionDiscipline(Rule):
+    code = "REP005"
+    name = "exception-discipline"
+    summary = "broad except must re-raise or convert; no assert for runtime validation"
+    explanation = (
+        "Inside the [rep005] scope, `except Exception` (or a bare `except`) "
+        "that neither re-raises nor converts the error hides failures from "
+        "callers who guard workflows with `except SecretaError`.  Convert "
+        "with `raise SomeSecretaError(...) from error`, re-raise, or — for "
+        "genuinely best-effort cleanup like segment unlinking — allow-list "
+        "the enclosing function in the manifest's allowed_handlers.  "
+        "Separately, `assert` is a debugging aid stripped by `python -O`; "
+        "validation the library depends on at runtime must raise a typed "
+        "repro.exceptions error instead."
+    )
+
+    def check_module(
+        self, module: ModuleContext, manifest: InvariantManifest
+    ) -> Iterable[Finding]:
+        scope = manifest.exception_scope
+        if scope and not module.relpath.startswith(tuple(scope)):
+            return
+        allowed = frozenset(manifest.allowed_handlers)
+        for node in module.walk():
+            if isinstance(node, ast.ExceptHandler) and _is_broad(node):
+                site = f"{module.relpath}::{module.qualname(node)}"
+                if site in allowed:
+                    continue
+                if any(isinstance(inner, ast.Raise) for inner in _body_nodes(node)):
+                    continue
+                yield module.finding(
+                    self,
+                    node,
+                    "broad except swallows the error; re-raise, convert to a "
+                    "repro.exceptions type with 'raise ... from', or "
+                    "allow-list this cleanup site in the manifest",
+                )
+            elif isinstance(node, ast.Assert):
+                yield module.finding(
+                    self,
+                    node,
+                    "assert used for runtime validation; raise a typed "
+                    "repro.exceptions error instead (asserts vanish under "
+                    "python -O)",
+                )

@@ -1,0 +1,174 @@
+"""REP006 — worker-pool payloads must survive pickling under spawn.
+
+``WorkerPool`` runs with the spawn start method: everything crossing the
+process boundary is pickled.  The manifest's ``spec_classes`` are the
+dataclasses shipped inside task tuples; this rule bans fields whose types
+can never pickle (locks, shared-memory handles, open files, executors) and
+lambda defaults.  It also checks the worker argument of the pool entry
+points (``run_many``/``fan_out_shared``/``pool.map``): lambdas and local
+functions fail at fan-out time with an opaque pickling error, so the rule
+surfaces them at lint time instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.manifest import InvariantManifest, WorkerCall
+
+
+def _annotation_names(annotation: ast.expr) -> Iterable[str]:
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotations ("Lock") still name the type.
+            yield node.value.split("[")[0].strip()
+
+
+def _worker_call_key(
+    call: ast.Call, worker_calls: dict[str, WorkerCall]
+) -> tuple[str, WorkerCall] | None:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in worker_calls:
+        return func.id, worker_calls[func.id]
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        receiver_name = (
+            receiver.id
+            if isinstance(receiver, ast.Name)
+            else receiver.attr
+            if isinstance(receiver, ast.Attribute)
+            else ""
+        )
+        for key, spec in worker_calls.items():
+            if "." in key:
+                key_receiver, _, key_attr = key.partition(".")
+                if func.attr == key_attr and key_receiver in receiver_name:
+                    return key, spec
+            elif func.attr == key:
+                return key, spec
+    return None
+
+
+def _can_reach_process_mode(call: ast.Call, spec: WorkerCall) -> bool:
+    """Whether this call site can end up pickling its worker."""
+    if spec.process_only:
+        return True
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                return value.value == "process"
+            return True  # dynamic mode expression: assume the worst
+    return False  # run_many defaults resolve to sequential/thread
+
+
+@register
+class ProcessSafety(Rule):
+    code = "REP006"
+    name = "process-safety"
+    summary = "pool payload classes and worker callables must be picklable under spawn"
+    explanation = (
+        "WorkerPool uses the spawn start method, so task payloads and worker "
+        "callables are pickled into the children.  The manifest's "
+        "spec_classes (AnonymizationConfig, ExperimentResources, "
+        "ParameterSweep, the shared-memory manifests) must therefore not "
+        "declare fields typed as locks, threads, SharedMemory handles, open "
+        "files, executors or pools — those either fail to pickle or, worse, "
+        "pickle into a disconnected copy.  Lambda field defaults and lambda/"
+        "local-function workers passed to run_many/fan_out_shared/pool.map "
+        "fail at fan-out time with an opaque PicklingError; this rule moves "
+        "that failure to lint time.  Hold live resources in the runner "
+        "process and ship names/specs, as SharedDatasetManifest does."
+    )
+
+    def check_module(
+        self, module: ModuleContext, manifest: InvariantManifest
+    ) -> Iterable[Finding]:
+        forbidden = frozenset(manifest.forbidden_field_types)
+        spec_classes = frozenset(manifest.spec_classes)
+        worker_calls = dict(manifest.worker_calls)
+
+        for node in module.walk():
+            if isinstance(node, ast.ClassDef):
+                if f"{module.relpath}::{module.qualname(node)}" not in spec_classes:
+                    continue
+                yield from self._check_spec_class(module, node, forbidden)
+            elif isinstance(node, ast.Call) and worker_calls:
+                yield from self._check_worker_call(module, node, worker_calls)
+
+    def _check_spec_class(
+        self, module: ModuleContext, node: ast.ClassDef, forbidden: frozenset[str]
+    ) -> Iterable[Finding]:
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                bad = sorted(
+                    set(_annotation_names(statement.annotation)) & forbidden
+                )
+                if bad:
+                    yield module.finding(
+                        self,
+                        statement,
+                        f"field {statement.target.id!r} is typed as "
+                        f"unpicklable {', '.join(bad)}; ship a name/spec and "
+                        f"reopen the resource in the worker",
+                    )
+            for inner in ast.walk(statement):
+                if isinstance(inner, ast.Lambda):
+                    yield module.finding(
+                        self,
+                        inner,
+                        "lambda in a pool payload class does not pickle; "
+                        "use a module-level function",
+                    )
+                    break
+
+    def _check_worker_call(
+        self, module: ModuleContext, call: ast.Call, worker_calls: dict[str, WorkerCall]
+    ) -> Iterable[Finding]:
+        resolved = _worker_call_key(call, worker_calls)
+        if resolved is None:
+            return
+        key, spec = resolved
+        if not _can_reach_process_mode(call, spec):
+            return
+        worker: ast.expr | None = None
+        if spec.arg < len(call.args):
+            worker = call.args[spec.arg]
+        for keyword in call.keywords:
+            if keyword.arg == "worker":
+                worker = keyword.value
+        if worker is None:
+            return
+        if isinstance(worker, ast.Lambda):
+            yield module.finding(
+                self,
+                worker,
+                f"lambda worker passed to {key}() cannot pickle under "
+                f"spawn; use a module-level function",
+            )
+        elif isinstance(worker, ast.Name):
+            enclosing = module.enclosing_function(call)
+            if enclosing is None:
+                return
+            for candidate in ast.walk(enclosing):
+                if (
+                    isinstance(candidate, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and candidate is not enclosing
+                    and candidate.name == worker.id
+                ):
+                    yield module.finding(
+                        self,
+                        worker,
+                        f"worker {worker.id!r} passed to {key}() is a local "
+                        f"function and cannot pickle under spawn; move it to "
+                        f"module level",
+                    )
+                    return

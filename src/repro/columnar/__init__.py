@@ -29,6 +29,8 @@ greedy-clustering / RT-merge kernels run on it.  See ``docs/columnar.md``
 for the layout and materialization rules.
 """
 
+from __future__ import annotations
+
 from repro.columnar.bitset import (
     WORD_BITS,
     bitset_from_indices,

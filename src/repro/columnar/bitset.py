@@ -14,6 +14,8 @@ own the memory.
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 import numpy as np
 
 #: Bits per storage word.
@@ -44,7 +46,7 @@ def empty_bitset(n_bits: int) -> np.ndarray:
     return np.zeros(word_count(n_bits), dtype=np.uint64)
 
 
-def bitset_from_indices(indices, n_bits: int) -> np.ndarray:
+def bitset_from_indices(indices: Iterable[int], n_bits: int) -> np.ndarray:
     """Pack an iterable of bit positions into a bitset of capacity ``n_bits``."""
     bits = empty_bitset(n_bits)
     positions = np.fromiter((int(i) for i in indices), dtype=np.int64)
@@ -58,7 +60,10 @@ def bitset_from_indices(indices, n_bits: int) -> np.ndarray:
 
 
 def posting_matrix(
-    tokens, record_ids, n_tokens: int, n_records: int
+    tokens: Sequence[int] | np.ndarray,
+    record_ids: Sequence[int] | np.ndarray,
+    n_tokens: int,
+    n_records: int,
 ) -> np.ndarray:
     """Per-token posting bitsets from parallel (token, record) occurrence arrays.
 
@@ -87,7 +92,7 @@ def popcount_rows(matrix: np.ndarray) -> np.ndarray:
     return _bitwise_count(matrix).sum(axis=1, dtype=np.int64)
 
 
-def union_rows(matrix: np.ndarray, rows) -> np.ndarray:
+def union_rows(matrix: np.ndarray, rows: Sequence[int] | np.ndarray) -> np.ndarray:
     """Bitwise OR of the selected ``rows`` of a posting matrix (empty → zeros)."""
     rows = np.asarray(rows, dtype=np.int64)
     if rows.size == 0:
@@ -97,7 +102,9 @@ def union_rows(matrix: np.ndarray, rows) -> np.ndarray:
     return np.bitwise_or.reduce(matrix[rows], axis=0)
 
 
-def intersect_rows(matrix: np.ndarray, rows) -> np.ndarray:
+def intersect_rows(
+    matrix: np.ndarray, rows: Sequence[int] | np.ndarray
+) -> np.ndarray:
     """Bitwise AND of the selected ``rows`` of a posting matrix (empty → zeros).
 
     The empty intersection is *not* the universe: callers asking for the

@@ -47,7 +47,7 @@ class TransactionColumn:
         indptr: np.ndarray,
         tokens: np.ndarray,
         attribute: str = "",
-    ):
+    ) -> None:
         self.vocabulary = vocabulary
         self.indptr = indptr
         self.tokens = tokens

@@ -37,8 +37,12 @@ class CategoricalColumn:
     __slots__ = ("attribute", "codes", "values", "_index", "_cells", "_string_codes")
 
     def __init__(
-        self, values: tuple, codes: np.ndarray, attribute: str = "", cells=None
-    ):
+        self,
+        values: tuple,
+        codes: np.ndarray,
+        attribute: str = "",
+        cells: list | None = None,
+    ) -> None:
         #: Distinct cell values in code order (``values[code]`` inverts codes).
         self.values = values
         #: ``int32`` code of every record's cell, parallel to the records.
@@ -80,7 +84,7 @@ class CategoricalColumn:
     def n_records(self) -> int:
         return len(self.codes)
 
-    def code_of(self, value) -> int | None:
+    def code_of(self, value: object) -> int | None:
         """The code of ``value`` (``None`` for values absent from the column)."""
         if self._index is None:
             self._index = {value: code for code, value in enumerate(self.values)}
@@ -138,9 +142,9 @@ class NumericColumn(CategoricalColumn):
         values: tuple,
         codes: np.ndarray,
         attribute: str = "",
-        cells=None,
+        cells: list | None = None,
         numbers: np.ndarray | None = None,
-    ):
+    ) -> None:
         super().__init__(values, codes, attribute=attribute, cells=cells)
         if numbers is not None:
             # A precomputed float view (e.g. a zero-copy shared-memory

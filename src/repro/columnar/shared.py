@@ -31,7 +31,7 @@ import pickle
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
@@ -96,7 +96,7 @@ class SharedDatasetManifest:
         return dict(self.arrays)
 
 
-def _encode_strings(strings) -> tuple[np.ndarray, np.ndarray]:
+def _encode_strings(strings: Iterable[str]) -> tuple[np.ndarray, np.ndarray]:
     """Pack a sequence of strings into (utf-8 blob, int64 end offsets)."""
     encoded = [string.encode("utf-8") for string in strings]
     offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
@@ -169,7 +169,7 @@ class SharedDatasetExport:
     unlink it; a finalizer guarantees unlinking on error paths.
     """
 
-    def __init__(self, dataset: "Dataset"):
+    def __init__(self, dataset: "Dataset") -> None:
         schema = dataset.schema
         self._columns: dict[str, Any] = {
             attribute.name: dataset.columnar(attribute.name) for attribute in schema
@@ -274,7 +274,7 @@ class SharedDatasetExport:
     def __enter__(self) -> "SharedDatasetExport":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -378,6 +378,7 @@ def attach(manifest: SharedDatasetManifest) -> "Dataset":
         records = [Record({}) for _ in range(manifest.n_records)]
 
     dataset = Dataset(schema, name=manifest.dataset_name)
+    # repro: allow[REP002] -- attach() pre-seeds a freshly constructed Dataset
     dataset._records = records
     dataset._columnar = columns
     dataset._shared_segment = segment  # keeps the mapping alive with the view
@@ -408,7 +409,7 @@ def attach_cached(manifest: SharedDatasetManifest) -> "Dataset":
     return dataset
 
 
-def resolve_shared_dataset(payload):
+def resolve_shared_dataset(payload: object) -> object:
     """Turn a task payload into a dataset: attach manifests, pass datasets."""
     if isinstance(payload, SharedDatasetManifest):
         return attach_cached(payload)

@@ -19,7 +19,7 @@ class ItemVocabulary:
 
     __slots__ = ("_items", "_tokens")
 
-    def __init__(self, items: Iterable[str]):
+    def __init__(self, items: Iterable[str]) -> None:
         self._items: tuple[str, ...] = tuple(sorted({str(item) for item in items}))
         self._tokens: dict[str, int] = {
             item: token for token, item in enumerate(self._items)

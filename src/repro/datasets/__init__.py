@@ -1,5 +1,7 @@
 """Dataset model, I/O, editing, statistics and synthetic generators."""
 
+from __future__ import annotations
+
 from repro.datasets.attributes import Attribute, AttributeKind, Schema
 from repro.datasets.csv_io import (
     load_csv,

@@ -1,5 +1,7 @@
 """The SECRETA backend: configurations, execution, evaluation and comparison."""
 
+from __future__ import annotations
+
 from repro.engine.anonymizer import AnonymizationModule
 from repro.engine.comparator import MethodComparator
 from repro.engine.config import (

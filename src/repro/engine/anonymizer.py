@@ -10,7 +10,7 @@ or a bounding method combining one of each — runs it, and returns the
 
 from __future__ import annotations
 
-from repro.algorithms.base import Anonymizer
+from repro.algorithms.base import AnonymizationResult, Anonymizer
 from repro.algorithms.registry import get_spec
 from repro.algorithms.relational.cluster import ClusterAnonymizer
 from repro.algorithms.relational.fullsubtree import FullSubtreeBottomUp
@@ -43,7 +43,7 @@ _TRANSACTION_CLASSES = {
 class AnonymizationModule:
     """Builds and executes algorithms for one dataset and resource set."""
 
-    def __init__(self, dataset: Dataset, resources: ExperimentResources):
+    def __init__(self, dataset: Dataset, resources: ExperimentResources) -> None:
         self.dataset = dataset
         self.resources = resources
 
@@ -126,7 +126,7 @@ class AnonymizationModule:
         return self.build_rt(config)
 
     # -- execution ------------------------------------------------------------------
-    def run(self, config: AnonymizationConfig):
+    def run(self, config: AnonymizationConfig) -> AnonymizationResult:
         """Prepare resources for ``config``, build the algorithm and execute it."""
         self.resources.ensure_for(self.dataset, config)
         algorithm = self.build_algorithm(config)

@@ -60,7 +60,7 @@ class MethodComparator:
         mode: str | None = None,
         pool: WorkerPool | None = None,
         universe_mode: str = "original",
-    ):
+    ) -> None:
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
         self.verify_privacy = verify_privacy
@@ -70,7 +70,12 @@ class MethodComparator:
         self.pool = pool
         self.universe_mode = universe_mode
 
-    def _tasks(self, payload, configurations, sweep: ParameterSweep) -> list[tuple]:
+    def _tasks(
+        self,
+        payload: object,
+        configurations: Sequence[AnonymizationConfig],
+        sweep: ParameterSweep,
+    ) -> list[tuple]:
         return [
             (payload, self.resources, self.verify_privacy, self.universe_mode, config, sweep)
             for config in configurations
@@ -111,7 +116,10 @@ class MethodComparator:
         )
 
     def compare_fixed(
-        self, configurations: Sequence[AnonymizationConfig], parameter: str, value
+        self,
+        configurations: Sequence[AnonymizationConfig],
+        parameter: str,
+        value: object,
     ) -> ComparisonReport:
         """Single-parameter-value comparison (a degenerate sweep of length one)."""
         return self.compare(configurations, ParameterSweep(parameter, (value,)))

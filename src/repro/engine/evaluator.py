@@ -51,7 +51,7 @@ class MethodEvaluator:
         verify_privacy: bool = True,
         km_check_limit: int = 128,
         universe_mode: str = "original",
-    ):
+    ) -> None:
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
         self.verify_privacy = verify_privacy

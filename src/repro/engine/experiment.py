@@ -150,7 +150,7 @@ class VaryingParameterExperiment:
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
         universe_mode: str = "original",
-    ):
+    ) -> None:
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
         self.verify_privacy = verify_privacy
@@ -159,7 +159,9 @@ class VaryingParameterExperiment:
         self.pool = pool
         self.universe_mode = universe_mode
 
-    def _tasks(self, payload, config: AnonymizationConfig, sweep: ParameterSweep):
+    def _tasks(
+        self, payload: object, config: AnonymizationConfig, sweep: ParameterSweep
+    ) -> list[tuple]:
         return [
             (
                 payload,

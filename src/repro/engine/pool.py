@@ -29,7 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.columnar.shared import SharedDatasetExport, SharedDatasetManifest
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SecretaError
 
 if TYPE_CHECKING:
     from repro.datasets.dataset import Dataset
@@ -50,6 +50,10 @@ def require_picklable_worker(worker: Callable) -> None:
     """Fail fast, with a clear message, on workers process mode cannot ship."""
     try:
         pickle.dumps(worker)
+    except SecretaError:
+        # A __reduce__ hook that already raised a typed error stays as-is;
+        # wrapping it again would bury the specific failure.
+        raise
     except Exception as error:
         raise ConfigurationError(
             f"mode='process' requires a picklable worker callable, but "
@@ -72,7 +76,9 @@ class WorkerPool:
         defaults to the platform's default start method.
     """
 
-    def __init__(self, max_workers: int | None = None, mp_context=None):
+    def __init__(
+        self, max_workers: int | None = None, mp_context: Any | None = None
+    ) -> None:
         validate_max_workers(max_workers)
         self._max_workers = max_workers or (os.cpu_count() or 1)
         self._mp_context = mp_context
@@ -169,7 +175,7 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

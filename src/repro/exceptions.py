@@ -47,3 +47,7 @@ class PrivacyViolationError(AlgorithmError):
 
 class ExportError(SecretaError):
     """Exporting datasets, results or figures to disk failed."""
+
+
+class AnalysisError(SecretaError):
+    """The static-analysis tooling was misconfigured or misused."""

@@ -1,5 +1,7 @@
 """Headless frontend: session facade, editors, text plotting and export."""
 
+from __future__ import annotations
+
 from repro.frontend.editors import ConfigurationEditor, QueriesEditor
 from repro.frontend.export import DataExportModule, export_figure, export_json, export_series_csv
 from repro.frontend.plotting import (

@@ -1,5 +1,7 @@
 """Generalization hierarchies, automatic builders, lattices and hierarchy I/O."""
 
+from __future__ import annotations
+
 from repro.hierarchy.builders import (
     ROOT_LABEL,
     build_categorical_hierarchy,

@@ -17,6 +17,8 @@ the same experiment resources — a parameter sweep, a comparison run — reuse
 a single cache instead of re-deriving leaf sets per record per label.
 """
 
+from __future__ import annotations
+
 from repro.index.interpreter import (
     LabelInterpreter,
     evict_when_full,

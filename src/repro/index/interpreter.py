@@ -76,7 +76,7 @@ class LabelInterpreter:
         self,
         hierarchy: Hierarchy | None = None,
         universe: Iterable[str] | None = None,
-    ):
+    ) -> None:
         self.hierarchy = hierarchy
         self.universe: frozenset[str] | None = (
             None if universe is None else frozenset(str(item) for item in universe)
@@ -96,35 +96,35 @@ class LabelInterpreter:
         )
 
     # -- per-label lookups -----------------------------------------------------
-    def leaves(self, label) -> frozenset[str]:
+    def leaves(self, label: object) -> frozenset[str]:
         """The original values ``label`` may stand for (memoized)."""
-        label = str(label)
+        key = str(label)
         try:
-            return self._leaves[label]
+            return self._leaves[key]
         except KeyError:
-            resolved = label_leaves(label, self.hierarchy, universe=self.universe)
+            resolved = label_leaves(key, self.hierarchy, universe=self.universe)
             self._guard(self._leaves)
-            self._leaves[label] = resolved
+            self._leaves[key] = resolved
             return resolved
 
-    def restricted_leaves(self, label) -> frozenset[str]:
+    def restricted_leaves(self, label: object) -> frozenset[str]:
         """``leaves(label)`` intersected with the universe (memoized)."""
-        label = str(label)
+        key = str(label)
         try:
-            return self._restricted[label]
+            return self._restricted[key]
         except KeyError:
-            resolved = self.leaves(label)
+            resolved = self.leaves(key)
             if self.universe is not None:
                 resolved = resolved & self.universe
             self._guard(self._restricted)
-            self._restricted[label] = resolved
+            self._restricted[key] = resolved
             return resolved
 
-    def size(self, label) -> int:
+    def size(self, label: object) -> int:
         """Number of original values ``label`` stands for (>= 1)."""
         return max(1, len(self.leaves(label)))
 
-    def cost(self, label, domain_size: int | None = None) -> float:
+    def cost(self, label: object, domain_size: int | None = None) -> float:
         """Utility-loss charge of publishing ``label`` instead of an original item.
 
         An original item costs 0, a generalized item standing for ``n`` values
@@ -135,14 +135,14 @@ class LabelInterpreter:
             domain_size = len(self.universe) if self.universe is not None else 0
         return generalization_cost(len(self.leaves(label)), domain_size)
 
-    def span(self, label) -> tuple[float, float] | None:
+    def span(self, label: object) -> tuple[float, float] | None:
         """Numeric bounds of an interval label (``None`` if not numeric)."""
-        label = str(label)
-        cached = self._spans.get(label)
+        key = str(label)
+        cached = self._spans.get(key)
         if cached is None:
-            cached = label_span(label, self.hierarchy)
+            cached = label_span(key, self.hierarchy)
             self._guard(self._spans)
-            self._spans[label] = _NO_SPAN if cached is None else cached
+            self._spans[key] = _NO_SPAN if cached is None else cached
             return cached
         return None if cached is _NO_SPAN else cached  # type: ignore[return-value]
 

@@ -47,7 +47,7 @@ class InvertedIndex:
         postings: Mapping[str, Iterable[int]],
         n_records: int = 0,
         cached: bool = True,
-    ):
+    ) -> None:
         materialized = {
             str(item): frozenset(int(i) for i in records)
             for item, records in postings.items()

@@ -1,5 +1,7 @@
 """Information-loss metrics, utility indicators and privacy verification."""
 
+from __future__ import annotations
+
 from repro.metrics.combined import RtUtility, rt_utility
 from repro.metrics.interpretation import (
     SUPPRESSED,

@@ -1,5 +1,7 @@
 """Privacy and utility policies for constraint-based anonymization."""
 
+from __future__ import annotations
+
 from repro.policies.generation import (
     generate_policies,
     generate_privacy_policy,

@@ -1,5 +1,7 @@
 """Query workloads and the Average Relative Error utility indicator."""
 
+from __future__ import annotations
+
 from repro.queries.are import (
     AreResult,
     QueryEvaluation,

@@ -1,0 +1,12 @@
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from lint_harness import LintHarness
+
+
+@pytest.fixture
+def harness(tmp_path: Path) -> LintHarness:
+    return LintHarness(tmp_path)

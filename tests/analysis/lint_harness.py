@@ -1,0 +1,64 @@
+"""Shared helpers for the repro-lint test suite.
+
+Each rule test writes a small source snippet into a throwaway repo layout
+under ``tmp_path`` and lints it with a purpose-built manifest, so the
+assertions cover the rule logic without depending on the real codebase.
+
+Note on suppression fixtures: reason-less ``allow[...]`` comments are built
+by string concatenation so the *test files themselves* stay clean when the
+self-run lints ``tests/``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.core import AnalysisReport, Finding, analyze_paths
+from repro.analysis.manifest import InvariantManifest
+
+
+class LintHarness:
+    """Write fixture modules into a temp repo root and lint them."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+
+    def write(self, relpath: str, source: str) -> Path:
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    def lint(
+        self,
+        *relpaths: str,
+        manifest: InvariantManifest | None = None,
+        select: list[str] | None = None,
+    ) -> AnalysisReport:
+        paths = list(relpaths) or ["."]
+        return analyze_paths(
+            paths,
+            root=self.root,
+            manifest=manifest if manifest is not None else InvariantManifest(),
+            select=select,
+        )
+
+    def findings(
+        self,
+        relpath: str,
+        source: str,
+        manifest: InvariantManifest | None = None,
+        select: list[str] | None = None,
+    ) -> list[Finding]:
+        """One-shot: write one module, lint it, return its findings."""
+        self.write(relpath, source)
+        return self.lint(relpath, manifest=manifest, select=select).findings
+
+
+def codes(findings: list[Finding]) -> list[str]:
+    return [finding.code for finding in findings]
+
+
+def new_codes(findings: list[Finding]) -> list[str]:
+    return [finding.code for finding in findings if finding.is_new]

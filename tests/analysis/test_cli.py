@@ -1,0 +1,123 @@
+"""End-to-end CLI behavior: formats, baseline workflow, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from lint_harness import LintHarness
+
+from repro.analysis.cli import main
+
+SWALLOWED = """
+def swallow():
+    try:
+        work()
+    except Exception:
+        pass
+"""
+
+MANIFEST_TOML = """
+[rep005]
+scope = ["src"]
+"""
+
+
+def _setup(tmp_path):
+    harness = LintHarness(tmp_path)
+    harness.write("src/mod.py", SWALLOWED)
+    harness.write("invariants.toml", MANIFEST_TOML)
+    return harness
+
+
+def _run(tmp_path, *extra: str) -> int:
+    return main(
+        [
+            "src",
+            "--root",
+            str(tmp_path),
+            "--manifest",
+            str(tmp_path / "invariants.toml"),
+            *extra,
+        ]
+    )
+
+
+class TestCli:
+    def test_finding_fails_with_exit_1(self, tmp_path, capsys):
+        _setup(tmp_path)
+        assert _run(tmp_path) == 1
+        out = capsys.readouterr().out
+        assert "REP005" in out
+        assert "1 new finding(s)" in out
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        harness = LintHarness(tmp_path)
+        harness.write("src/mod.py", "x = 1\n")
+        harness.write("invariants.toml", MANIFEST_TOML)
+        assert _run(tmp_path) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        _setup(tmp_path)
+        assert _run(tmp_path, "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+        assert payload["findings"][0]["code"] == "REP005"
+        assert payload["findings"][0]["status"] == "new"
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        _setup(tmp_path)
+        assert _run(tmp_path, "--write-baseline") == 0
+        baseline_path = tmp_path / ".repro-lint-baseline.json"
+        assert baseline_path.exists()
+        payload = json.loads(baseline_path.read_text())
+        assert payload["entries"][0]["code"] == "REP005"
+        assert "TODO" in payload["entries"][0]["reason"]
+        capsys.readouterr()
+        # With the baseline in place the same tree is clean...
+        assert _run(tmp_path) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ...and --no-baseline resurfaces the finding.
+        assert _run(tmp_path, "--no-baseline") == 1
+
+    def test_baseline_expires_when_line_changes(self, tmp_path):
+        harness = _setup(tmp_path)
+        assert _run(tmp_path, "--write-baseline") == 0
+        harness.write(
+            "src/mod.py", SWALLOWED.replace("except Exception:", "except BaseException:")
+        )
+        assert _run(tmp_path) == 1
+
+    def test_explain(self, capsys):
+        assert main(["--explain", "REP002"]) == 0
+        out = capsys.readouterr().out
+        assert "REP002" in out
+        assert "cache" in out
+
+    def test_explain_unknown_code_exits_2(self, capsys):
+        assert main(["--explain", "REP999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert code in out
+
+    def test_bad_path_exits_2(self, tmp_path, capsys):
+        assert main(["nonexistent", "--root", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_verbose_lists_suppressed(self, tmp_path, capsys):
+        harness = LintHarness(tmp_path)
+        harness.write(
+            "src/mod.py",
+            SWALLOWED.replace(
+                "except Exception:",
+                "except Exception:  # repro: allow[REP005] -- fixture cleanup",
+            ),
+        )
+        harness.write("invariants.toml", MANIFEST_TOML)
+        assert _run(tmp_path) == 0
+        assert "(suppressed)" not in capsys.readouterr().out
+        assert _run(tmp_path, "--verbose") == 0
+        assert "(suppressed)" in capsys.readouterr().out

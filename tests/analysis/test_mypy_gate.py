@@ -1,0 +1,114 @@
+"""The typed-core gate: strict packages stay fully annotated.
+
+mypy itself may not be installed in every environment (CI installs it for
+the static-analysis job); the structural tests below do not depend on it
+and keep the gate honest locally by checking the two things the strict
+config demands — the pyproject overrides exist, and every function in the
+strict packages carries complete annotations.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+STRICT_PACKAGES = (
+    "src/repro/columnar",
+    "src/repro/index",
+    "src/repro/engine",
+    "src/repro/analysis",
+)
+
+
+def _strict_override() -> dict:
+    config = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    overrides = config["tool"]["mypy"]["overrides"]
+    for override in overrides:
+        if "repro.columnar.*" in override["module"]:
+            return override
+    raise AssertionError("no strict override block for repro.columnar.*")
+
+
+class TestMypyConfig:
+    def test_pyproject_declares_the_strict_core(self):
+        override = _strict_override()
+        modules = set(override["module"])
+        assert {
+            "repro.columnar.*",
+            "repro.index.*",
+            "repro.engine.*",
+            "repro.analysis.*",
+        } <= modules
+
+    def test_strict_flags_are_enabled(self):
+        override = _strict_override()
+        for flag in (
+            "disallow_untyped_defs",
+            "disallow_incomplete_defs",
+            "check_untyped_defs",
+            "strict_equality",
+        ):
+            assert override[flag] is True, flag
+
+
+def _unannotated_defs(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]
+        missing = [
+            arg.arg
+            for arg in args
+            if arg.annotation is None and arg.arg not in ("self", "cls")
+        ]
+        if node.args.vararg and node.args.vararg.annotation is None:
+            missing.append("*" + node.args.vararg.arg)
+        if node.args.kwarg and node.args.kwarg.annotation is None:
+            missing.append("**" + node.args.kwarg.arg)
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            problems.append(f"{path}:{node.lineno} {node.name}: {missing}")
+    return problems
+
+
+class TestStrictPackagesAreAnnotated:
+    @pytest.mark.parametrize("package", STRICT_PACKAGES)
+    def test_every_def_is_fully_annotated(self, package):
+        problems = []
+        for path in sorted((REPO_ROOT / package).rglob("*.py")):
+            problems.extend(_unannotated_defs(path))
+        assert problems == []
+
+    @pytest.mark.parametrize("package", STRICT_PACKAGES)
+    def test_future_annotations_everywhere(self, package):
+        missing = []
+        for path in sorted((REPO_ROOT / package).rglob("*.py")):
+            if "from __future__ import annotations" not in path.read_text():
+                missing.append(str(path))
+        assert missing == []
+
+
+class TestMypyRun:
+    def test_strict_core_passes_mypy(self):
+        pytest.importorskip("mypy")
+        result = subprocess.run(
+            [sys.executable, "-m", "mypy", "src"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,122 @@
+"""REP001: shared-memory lifecycle fixtures."""
+
+from __future__ import annotations
+
+from lint_harness import new_codes
+
+UNGUARDED = """
+    from multiprocessing import shared_memory
+
+    def leak(size):
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        return segment.name
+"""
+
+TRY_FINALLY = """
+    from multiprocessing import shared_memory
+
+    def careful(size):
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        try:
+            return segment.name
+        finally:
+            segment.unlink()
+"""
+
+EXCEPT_RERAISE = """
+    from multiprocessing import shared_memory
+
+    def careful(size):
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        try:
+            return fill(segment)
+        except Exception:
+            segment.unlink()
+            raise
+"""
+
+FINALIZE_GUARD = """
+    import weakref
+    from multiprocessing import shared_memory
+
+    class Export:
+        def __init__(self, size):
+            self._segment = shared_memory.SharedMemory(create=True, size=size)
+            self._finalizer = weakref.finalize(self, cleanup, self._segment)
+"""
+
+WITH_STATEMENT = """
+    from multiprocessing import shared_memory
+
+    def scoped(size):
+        with shared_memory.SharedMemory(create=True, size=size) as segment:
+            return segment.name
+"""
+
+ATTACH_ONLY = """
+    from multiprocessing import shared_memory
+
+    def attach(name):
+        return shared_memory.SharedMemory(name=name)
+"""
+
+NESTED_FINALIZE_DOES_NOT_GUARD = """
+    import weakref
+    from multiprocessing import shared_memory
+
+    def leak(size):
+        segment = shared_memory.SharedMemory(create=True, size=size)
+
+        def later():
+            weakref.finalize(segment, segment.unlink)
+
+        return segment
+"""
+
+
+class TestRep001:
+    def test_unguarded_create_is_flagged(self, harness):
+        findings = harness.findings("src/pkg/mod.py", UNGUARDED, select=["REP001"])
+        assert new_codes(findings) == ["REP001"]
+        assert findings[0].symbol == "leak"
+
+    def test_try_finally_unlink_is_clean(self, harness):
+        assert harness.findings("src/pkg/mod.py", TRY_FINALLY, select=["REP001"]) == []
+
+    def test_except_cleanup_with_reraise_is_clean(self, harness):
+        findings = harness.findings(
+            "src/pkg/mod.py", EXCEPT_RERAISE, select=["REP001"]
+        )
+        assert new_codes(findings) == []
+
+    def test_weakref_finalize_in_same_scope_is_clean(self, harness):
+        assert (
+            harness.findings("src/pkg/mod.py", FINALIZE_GUARD, select=["REP001"])
+            == []
+        )
+
+    def test_context_manager_is_clean(self, harness):
+        assert (
+            harness.findings("src/pkg/mod.py", WITH_STATEMENT, select=["REP001"])
+            == []
+        )
+
+    def test_attach_without_create_is_clean(self, harness):
+        assert harness.findings("src/pkg/mod.py", ATTACH_ONLY, select=["REP001"]) == []
+
+    def test_finalize_in_nested_function_does_not_count(self, harness):
+        findings = harness.findings(
+            "src/pkg/mod.py", NESTED_FINALIZE_DOES_NOT_GUARD, select=["REP001"]
+        )
+        assert new_codes(findings) == ["REP001"]
+
+    def test_suppression_with_reason_is_honored(self, harness):
+        source = UNGUARDED.replace(
+            "create=True, size=size)",
+            "create=True, size=size)  # repro: allow[REP001] -- fixture leak",
+        )
+        findings = harness.findings("src/pkg/mod.py", source, select=["REP001"])
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert findings[0].suppression_reason == "fixture leak"
+        assert new_codes(findings) == []

@@ -1,0 +1,114 @@
+"""REP002: cache-invalidation discipline fixtures."""
+
+from __future__ import annotations
+
+from lint_harness import new_codes
+
+from repro.analysis.manifest import InvariantManifest
+
+MANIFEST = InvariantManifest(
+    protected_attributes=("_records", "_columnar", "_schema"),
+    record_mutators=("_set", "_delete", "_rename"),
+    sanctioned_modules=("src/pkg/dataset.py",),
+)
+
+DIRECT_WRITE = """
+    def clobber(dataset, rows):
+        dataset._records = rows
+"""
+
+IN_PLACE_MUTATION = """
+    def sneak(dataset, row):
+        dataset._records.append(row)
+        dataset._columnar.clear()
+"""
+
+SUBSCRIPT_WRITE = """
+    def poke(dataset, column):
+        dataset._columnar["age"] = column
+"""
+
+RECORD_MUTATOR_CALL = """
+    def rewrite(record, value):
+        record._set("age", value)
+"""
+
+PUBLIC_API = """
+    def fine(dataset, row):
+        dataset.append(row)
+        dataset.set_value(0, "age", 30)
+"""
+
+READ_ONLY = """
+    def inspect(dataset):
+        return len(dataset._records), dict(dataset._columnar)
+"""
+
+
+class TestRep002:
+    def test_direct_write_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/other.py", DIRECT_WRITE, manifest=MANIFEST, select=["REP002"]
+        )
+        assert new_codes(findings) == ["REP002"]
+        assert "_records" in findings[0].message
+
+    def test_in_place_mutation_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/other.py", IN_PLACE_MUTATION, manifest=MANIFEST, select=["REP002"]
+        )
+        assert new_codes(findings) == ["REP002", "REP002"]
+
+    def test_subscript_write_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/other.py", SUBSCRIPT_WRITE, manifest=MANIFEST, select=["REP002"]
+        )
+        assert new_codes(findings) == ["REP002"]
+
+    def test_record_mutator_call_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/other.py",
+            RECORD_MUTATOR_CALL,
+            manifest=MANIFEST,
+            select=["REP002"],
+        )
+        assert new_codes(findings) == ["REP002"]
+
+    def test_sanctioned_module_is_exempt(self, harness):
+        findings = harness.findings(
+            "src/pkg/dataset.py", DIRECT_WRITE, manifest=MANIFEST, select=["REP002"]
+        )
+        assert findings == []
+
+    def test_tests_are_out_of_scope(self, harness):
+        findings = harness.findings(
+            "tests/test_poke.py", DIRECT_WRITE, manifest=MANIFEST, select=["REP002"]
+        )
+        assert findings == []
+
+    def test_public_api_and_reads_are_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/other.py", PUBLIC_API, manifest=MANIFEST, select=["REP002"]
+            )
+            == []
+        )
+        assert (
+            harness.findings(
+                "src/pkg/reader.py", READ_ONLY, manifest=MANIFEST, select=["REP002"]
+            )
+            == []
+        )
+
+    def test_standalone_suppression_covers_next_line(self, harness):
+        source = (
+            "def clobber(dataset, rows):\n"
+            "    # repro: allow[REP002] -- fixture rebuilds a fresh dataset\n"
+            "    dataset._records = rows\n"
+        )
+        findings = harness.findings(
+            "src/pkg/other.py", source, manifest=MANIFEST, select=["REP002"]
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert new_codes(findings) == []

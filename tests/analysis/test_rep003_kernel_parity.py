@@ -1,0 +1,99 @@
+"""REP003: kernel/scalar parity manifest fixtures."""
+
+from __future__ import annotations
+
+from lint_harness import new_codes
+
+from repro.analysis.manifest import InvariantManifest, ParityPair
+
+KERNELS = """
+    def fast_sum(values):
+        return vectorized_sum(values)
+
+    def _helper(values):
+        return values
+"""
+
+FALLBACKS = """
+    def slow_sum(values):
+        total = 0
+        for value in values:
+            total += value
+        return total
+"""
+
+
+def manifest(*pairs: ParityPair) -> InvariantManifest:
+    return InvariantManifest(
+        kernel_modules=("src/pkg/kernels.py",), parity_pairs=tuple(pairs)
+    )
+
+
+class TestRep003:
+    def test_declared_pair_is_clean(self, harness):
+        harness.write("src/pkg/kernels.py", KERNELS)
+        harness.write("src/pkg/scalar.py", FALLBACKS)
+        report = harness.lint(
+            "src",
+            manifest=manifest(
+                ParityPair(
+                    kernel="src/pkg/kernels.py::fast_sum",
+                    fallback="src/pkg/scalar.py::slow_sum",
+                )
+            ),
+            select=["REP003"],
+        )
+        assert report.findings == []
+
+    def test_undeclared_kernel_is_flagged(self, harness):
+        harness.write("src/pkg/kernels.py", KERNELS)
+        report = harness.lint("src", manifest=manifest(), select=["REP003"])
+        assert new_codes(report.findings) == ["REP003"]
+        assert "fast_sum" in report.findings[0].message
+        # Private helpers need no declaration.
+        assert all("_helper" not in f.message for f in report.findings)
+
+    def test_stale_fallback_reference_is_flagged(self, harness):
+        harness.write("src/pkg/kernels.py", KERNELS)
+        report = harness.lint(
+            "src",
+            manifest=manifest(
+                ParityPair(
+                    kernel="src/pkg/kernels.py::fast_sum",
+                    fallback="src/pkg/scalar.py::renamed_away",
+                )
+            ),
+            select=["REP003"],
+        )
+        messages = [f.message for f in report.findings if f.is_new]
+        assert len(messages) == 1
+        assert "renamed_away" in messages[0]
+        assert "stale" in messages[0]
+
+    def test_fallback_outside_analyzed_paths_still_resolves(self, harness):
+        harness.write("src/pkg/kernels.py", KERNELS)
+        harness.write("tests/oracles.py", FALLBACKS)
+        report = harness.lint(
+            "src",  # tests/ is NOT linted, but the reference must resolve
+            manifest=manifest(
+                ParityPair(
+                    kernel="src/pkg/kernels.py::fast_sum",
+                    fallback="tests/oracles.py::slow_sum",
+                )
+            ),
+            select=["REP003"],
+        )
+        assert report.findings == []
+
+    def test_repo_manifest_pairs_all_resolve(self, harness):
+        """The committed invariants.toml must reference real symbols."""
+        import pathlib
+
+        from repro.analysis.core import analyze_paths
+
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        report = analyze_paths(
+            ["src/repro/columnar"], root=repo_root, select=["REP003"]
+        )
+        stale = [f for f in report.findings if "stale" in f.message]
+        assert stale == []

@@ -1,0 +1,107 @@
+"""REP004: hot-path loop ban fixtures."""
+
+from __future__ import annotations
+
+from lint_harness import new_codes
+
+from repro.analysis.manifest import InvariantManifest
+
+MANIFEST = InvariantManifest(
+    hot_modules=("src/pkg/metrics.py",),
+    scalar_fallbacks=("src/pkg/metrics.py::slow_score",),
+)
+
+RECORD_LOOP = """
+    def score(dataset):
+        total = 0.0
+        for record in dataset.records:
+            total += record["weight"]
+        return total
+"""
+
+FALLBACK_LOOP = """
+    def slow_score(dataset):
+        total = 0.0
+        for record in dataset.records:
+            total += record["weight"]
+        return total
+"""
+
+NESTED_IN_FALLBACK = """
+    def slow_score(dataset):
+        def inner():
+            for record in dataset._records:
+                yield record
+        return sum(1 for _ in inner())
+"""
+
+NON_RECORD_LOOP = """
+    def score(values):
+        total = 0.0
+        for value in values:
+            total += value
+        return total
+"""
+
+
+class TestRep004:
+    def test_record_loop_in_hot_module_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/metrics.py", RECORD_LOOP, manifest=MANIFEST, select=["REP004"]
+        )
+        assert new_codes(findings) == ["REP004"]
+        assert findings[0].symbol == "score"
+
+    def test_declared_scalar_fallback_is_exempt(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/metrics.py",
+                FALLBACK_LOOP,
+                manifest=MANIFEST,
+                select=["REP004"],
+            )
+            == []
+        )
+
+    def test_helper_nested_in_fallback_is_exempt(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/metrics.py",
+                NESTED_IN_FALLBACK,
+                manifest=MANIFEST,
+                select=["REP004"],
+            )
+            == []
+        )
+
+    def test_non_hot_module_is_out_of_scope(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/other.py", RECORD_LOOP, manifest=MANIFEST, select=["REP004"]
+            )
+            == []
+        )
+
+    def test_loop_over_plain_values_is_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/metrics.py",
+                NON_RECORD_LOOP,
+                manifest=MANIFEST,
+                select=["REP004"],
+            )
+            == []
+        )
+
+    def test_suppression_with_reason_is_honored(self, harness):
+        source = RECORD_LOOP.replace(
+            "for record in dataset.records:",
+            "for record in dataset.records:  "
+            "# repro: allow[REP004] -- cold path, runs once per export",
+        )
+        findings = harness.findings(
+            "src/pkg/metrics.py", source, manifest=MANIFEST, select=["REP004"]
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert new_codes(findings) == []

@@ -1,0 +1,142 @@
+"""REP005: exception discipline fixtures."""
+
+from __future__ import annotations
+
+from lint_harness import new_codes
+
+from repro.analysis.manifest import InvariantManifest
+
+MANIFEST = InvariantManifest(
+    exception_scope=("src/pkg",),
+    allowed_handlers=("src/pkg/cleanup.py::best_effort",),
+)
+
+SWALLOWED = """
+    def swallow():
+        try:
+            work()
+        except Exception:
+            pass
+"""
+
+BARE_SWALLOWED = """
+    def swallow():
+        try:
+            work()
+        except:
+            return None
+"""
+
+CONVERTED = """
+    def convert():
+        try:
+            work()
+        except Exception as error:
+            raise DatasetError("work failed") from error
+"""
+
+RERAISED = """
+    def reraise():
+        try:
+            work()
+        except Exception:
+            log()
+            raise
+"""
+
+NARROW = """
+    def narrow():
+        try:
+            work()
+        except (ValueError, KeyError):
+            return None
+"""
+
+ALLOWED_SITE = """
+    def best_effort(segment):
+        try:
+            segment.unlink()
+        except Exception:
+            pass
+"""
+
+RUNTIME_ASSERT = """
+    def pick(candidates):
+        best = max(candidates, default=None)
+        assert best is not None
+        return best
+"""
+
+
+class TestRep005:
+    def test_swallowing_broad_except_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/mod.py", SWALLOWED, manifest=MANIFEST, select=["REP005"]
+        )
+        assert new_codes(findings) == ["REP005"]
+
+    def test_bare_except_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/mod.py", BARE_SWALLOWED, manifest=MANIFEST, select=["REP005"]
+        )
+        assert new_codes(findings) == ["REP005"]
+
+    def test_conversion_with_raise_from_is_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/mod.py", CONVERTED, manifest=MANIFEST, select=["REP005"]
+            )
+            == []
+        )
+
+    def test_plain_reraise_is_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/mod.py", RERAISED, manifest=MANIFEST, select=["REP005"]
+            )
+            == []
+        )
+
+    def test_narrow_handler_is_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/mod.py", NARROW, manifest=MANIFEST, select=["REP005"]
+            )
+            == []
+        )
+
+    def test_allow_listed_cleanup_site_is_exempt(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/cleanup.py", ALLOWED_SITE, manifest=MANIFEST, select=["REP005"]
+            )
+            == []
+        )
+
+    def test_out_of_scope_module_is_ignored(self, harness):
+        assert (
+            harness.findings(
+                "tools/script.py", SWALLOWED, manifest=MANIFEST, select=["REP005"]
+            )
+            == []
+        )
+
+    def test_runtime_assert_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/mod.py", RUNTIME_ASSERT, manifest=MANIFEST, select=["REP005"]
+        )
+        assert new_codes(findings) == ["REP005"]
+        assert "assert" in findings[0].message
+
+    def test_suppression_with_reason_is_honored(self, harness):
+        source = RUNTIME_ASSERT.replace(
+            "assert best is not None",
+            "assert best is not None  "
+            "# repro: allow[REP005] -- fixture: documented debug invariant",
+        )
+        findings = harness.findings(
+            "src/pkg/mod.py", source, manifest=MANIFEST, select=["REP005"]
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert new_codes(findings) == []

@@ -1,0 +1,63 @@
+"""The linter's own acceptance test: this repository must lint clean.
+
+Runs the exact command CI runs (``python -m repro.analysis src tests
+benchmarks``) against the working tree and requires zero new findings —
+everything the rules flag must be fixed, suppressed with a reason, or
+carried in the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfRun:
+    def test_repository_is_clean_modulo_baseline(self, capsys):
+        exit_code = main(
+            [
+                "src",
+                "tests",
+                "benchmarks",
+                "--root",
+                str(REPO_ROOT),
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        new = [f for f in payload["findings"] if f["status"] == "new"]
+        assert new == [], f"repo has unhandled lint findings: {new}"
+        assert exit_code == 0
+
+    def test_every_suppression_and_baseline_entry_carries_a_reason(self, capsys):
+        main(
+            [
+                "src",
+                "tests",
+                "benchmarks",
+                "--root",
+                str(REPO_ROOT),
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        handled = [
+            f for f in payload["findings"] if f["status"] in ("suppressed", "baselined")
+        ]
+        assert handled, "expected the repo to exercise suppressions and baseline"
+        for finding in handled:
+            assert finding["reason"].strip(), finding
+            assert "TODO" not in finding["reason"], finding
+
+    def test_committed_baseline_fingerprints_are_current(self):
+        baseline_path = REPO_ROOT / ".repro-lint-baseline.json"
+        payload = json.loads(baseline_path.read_text())
+        assert payload["version"] == 1
+        for entry in payload["entries"]:
+            assert (REPO_ROOT / entry["path"]).exists(), entry

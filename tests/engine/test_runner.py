@@ -101,6 +101,7 @@ class TestRunMany:
 
     def test_unpicklable_worker_raises_clear_error(self):
         with pytest.raises(ConfigurationError, match="module-level function"):
+            # repro: allow[REP006] -- deliberately unpicklable: tests the error
             run_many([1, 2], lambda value: value, mode="process")
 
     def test_unpicklable_worker_error_names_the_worker(self):
@@ -108,6 +109,7 @@ class TestRunMany:
             return value
 
         with pytest.raises(ConfigurationError, match="picklable worker"):
+            # repro: allow[REP006] -- deliberately unpicklable: tests the error
             run_many([1, 2], local_closure, mode="process")
 
     def test_unpicklable_task_raises_clear_error(self):
