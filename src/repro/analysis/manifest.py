@@ -77,6 +77,12 @@ class InvariantManifest:
     forbidden_field_types: tuple[str, ...] = ()
     #: ``callable name -> worker-argument declaration`` for REP006.
     worker_calls: Mapping[str, WorkerCall] = field(default_factory=dict)
+    #: REP007: path prefixes the retry discipline applies to, the call names
+    #: that count as (re)submission, and the ``path::qualname`` helpers whose
+    #: policy-bounded sleeps are sanctioned.
+    retry_scope: tuple[str, ...] = ()
+    resubmit_calls: tuple[str, ...] = ()
+    sleep_helpers: tuple[str, ...] = ()
 
     @classmethod
     def load(cls, path: Path | str | None = None) -> "InvariantManifest":
@@ -150,4 +156,7 @@ class InvariantManifest:
             spec_classes=strings("rep006", "spec_classes"),
             forbidden_field_types=strings("rep006", "forbidden_field_types"),
             worker_calls=worker_calls,
+            retry_scope=strings("rep007", "scope"),
+            resubmit_calls=strings("rep007", "resubmit_calls"),
+            sleep_helpers=strings("rep007", "sleep_helpers"),
         )

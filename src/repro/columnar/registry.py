@@ -1,0 +1,160 @@
+"""Crash-safe bookkeeping of owned shared-memory segments.
+
+``SharedDatasetExport`` unlinks its segment on ``close()`` and carries a
+``weakref.finalize`` guard — but a finalizer cannot run in a process that
+dies by SIGKILL (OOM killer, ``kill -9``, a hard container stop).  A segment
+orphaned that way lives in ``/dev/shm`` until reboot, silently eating memory
+across runs.
+
+The fix is the classic write-ahead discipline:
+
+1. **register before create** — the exporter picks its segment name up
+   front, writes it to a per-process *sidecar file* (one name per line),
+   and only then creates the segment.  A crash between the two steps
+   leaves a registry entry with no segment, which the reaper treats as
+   already-cleaned.
+2. **clear after unlink** — a clean ``close()`` unlinks the segment and
+   then removes the name from the sidecar; an empty sidecar is deleted.
+3. **reap on startup** — :func:`reap_orphaned_segments` runs when a
+   :class:`~repro.engine.pool.WorkerPool` starts: every sidecar whose
+   owning pid is no longer alive has its listed segments unlinked and the
+   sidecar removed.  Sidecars of live processes are left strictly alone.
+
+Sidecars live under :func:`registry_dir` (``$REPRO_SHM_REGISTRY`` or a
+per-user directory under the system temp dir), named ``<pid>.segments``;
+pid reuse is handled by the registering process truncating its own stale
+sidecar, if any, on first registration.
+"""
+
+from __future__ import annotations
+
+import errno
+import getpass
+import os
+import secrets
+import tempfile
+from multiprocessing import shared_memory
+from pathlib import Path
+
+#: Environment variable overriding the sidecar directory (tests point it at
+#: a tmp path so concurrent suites cannot see each other's sidecars).
+REGISTRY_ENV = "REPRO_SHM_REGISTRY"
+
+_SIDECAR_SUFFIX = ".segments"
+
+#: Set once this process has truncated any stale sidecar left by a previous
+#: owner of its pid.
+_claimed_pids: set[int] = set()
+
+
+def registry_dir() -> Path:
+    """The directory holding per-process sidecar files (created on demand)."""
+    override = os.environ.get(REGISTRY_ENV)
+    if override:
+        path = Path(override)
+    else:
+        try:
+            user = getpass.getuser()
+        except (KeyError, OSError):  # pragma: no cover - no passwd entry
+            user = str(os.getuid()) if hasattr(os, "getuid") else "user"
+        path = Path(tempfile.gettempdir()) / f"repro-shm-{user}"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _sidecar_path(pid: int) -> Path:
+    return registry_dir() / f"{pid}{_SIDECAR_SUFFIX}"
+
+
+def new_segment_name() -> str:
+    """A fresh segment name unique enough to never collide in practice.
+
+    Naming the segment ourselves (rather than letting ``SharedMemory``
+    choose) is what makes *register before create* possible.
+    """
+    return f"repro_{os.getpid()}_{secrets.token_hex(8)}"
+
+
+def register_segment(name: str) -> None:
+    """Record ``name`` as owned by this process — call *before* creating it."""
+    pid = os.getpid()
+    path = _sidecar_path(pid)
+    if pid not in _claimed_pids:
+        # First registration after fork/spawn/start: a sidecar under our pid
+        # can only be a leftover from a dead previous owner of the pid.
+        _claimed_pids.add(pid)
+        path.unlink(missing_ok=True)
+    with path.open("a", encoding="utf-8") as sidecar:
+        sidecar.write(f"{name}\n")
+        sidecar.flush()
+        os.fsync(sidecar.fileno())
+
+
+def clear_segment(name: str) -> None:
+    """Drop ``name`` from this process's sidecar — call *after* unlinking."""
+    path = _sidecar_path(os.getpid())
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except FileNotFoundError:
+        return
+    remaining = [line for line in lines if line and line != name]
+    if remaining:
+        path.write_text("".join(f"{line}\n" for line in remaining), encoding="utf-8")
+    else:
+        path.unlink(missing_ok=True)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except OSError as error:
+        return error.errno == errno.EPERM
+    return True
+
+
+def _unlink_named_segment(name: str) -> bool:
+    """Unlink segment ``name`` if it still exists; never raise."""
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    except OSError:  # pragma: no cover - defensive (permissions, EINTR)
+        return False
+    try:
+        segment.close()
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a race to another reaper
+        return False
+    except OSError:  # pragma: no cover - defensive
+        return False
+    return True
+
+
+def reap_orphaned_segments() -> list[str]:
+    """Unlink every segment whose registering process is dead.
+
+    Returns the names actually unlinked.  Sidecars of live processes —
+    including this one — are never touched, so a concurrently running pool
+    keeps its exports.
+    """
+    reaped: list[str] = []
+    own_pid = os.getpid()
+    for sidecar in registry_dir().glob(f"*{_SIDECAR_SUFFIX}"):
+        try:
+            pid = int(sidecar.stem)
+        except ValueError:
+            continue
+        if pid == own_pid or _pid_alive(pid):
+            continue
+        try:
+            names = sidecar.read_text(encoding="utf-8").splitlines()
+        except OSError:  # pragma: no cover - lost a race to another reaper
+            continue
+        for name in names:
+            if name and _unlink_named_segment(name):
+                reaped.append(name)
+        sidecar.unlink(missing_ok=True)
+    return reaped

@@ -36,10 +36,11 @@ from typing import TYPE_CHECKING, Any, Iterable
 import numpy as np
 
 from repro.columnar.column import TransactionColumn
+from repro.columnar.registry import clear_segment, new_segment_name, register_segment
 from repro.columnar.relational import CategoricalColumn, NumericColumn
 from repro.columnar.vocabulary import ItemVocabulary
 from repro.datasets.attributes import Attribute, AttributeKind, Schema
-from repro.exceptions import SchemaError
+from repro.exceptions import ExportError, SchemaError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset ↔ columnar)
     from repro.datasets.dataset import Dataset
@@ -145,7 +146,7 @@ def _exact_cell_codes(dataset: "Dataset", attribute: str) -> tuple[np.ndarray, t
 
 
 def _unlink_segment(segment: shared_memory.SharedMemory) -> None:
-    """Best-effort close + unlink (finalizer: must never raise)."""
+    """Best-effort close + unlink + registry clear (finalizer: never raises)."""
     try:
         segment.close()
     except Exception:  # pragma: no cover - defensive
@@ -156,6 +157,36 @@ def _unlink_segment(segment: shared_memory.SharedMemory) -> None:
         pass
     except Exception:  # pragma: no cover - defensive
         pass
+    try:
+        # Cleared *after* unlink: a crash in between leaves a registry entry
+        # pointing at a dead (or soon-reaped) segment, never a live orphan.
+        clear_segment(segment.name)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+def _create_registered_segment(size: int) -> shared_memory.SharedMemory:
+    """Create a named segment whose name is sidecar-registered *first*.
+
+    The name is generated here (rather than letting ``SharedMemory`` pick
+    one) precisely so it can be written to the crash registry before the
+    segment exists; collisions are cryptographically unlikely, but the
+    create is still retried a bounded number of times for defense in depth.
+    """
+    last_error: BaseException | None = None
+    for _ in range(3):
+        name = new_segment_name()
+        register_segment(name)
+        try:
+            # repro: allow[REP001] -- the name is sidecar-registered above (reaped after a crash) and the caller attaches its weakref.finalize unlink guard immediately on return
+            return shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError as error:
+            clear_segment(name)
+            last_error = error
+    raise ExportError(
+        "could not allocate a shared-memory segment: three fresh names "
+        "already existed"
+    ) from last_error
 
 
 class SharedDatasetExport:
@@ -207,7 +238,11 @@ class SharedDatasetExport:
             )
             offset += array.nbytes
 
-        self._segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        self._segment = _create_registered_segment(size=max(offset, 1))
+        # The finalizer exists from the instant the segment does, so a
+        # failure while copying payloads below still unlinks it.
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _unlink_segment, self._segment)
         for _, spec, array in specs:
             view = np.ndarray(
                 spec.shape,
@@ -230,8 +265,6 @@ class SharedDatasetExport:
             numeric_cells=tuple(numeric_cells),
             total_bytes=offset,
         )
-        self._closed = False
-        self._finalizer = weakref.finalize(self, _unlink_segment, self._segment)
 
     # -- bookkeeping ---------------------------------------------------------
     @property
@@ -261,6 +294,22 @@ class SharedDatasetExport:
             )
         except SchemaError:
             return False
+
+    def segment_alive(self) -> bool:
+        """Whether the segment still exists in the OS namespace.
+
+        An export can go stale without ``close()`` ever being called: the
+        resource tracker of a crashed worker generation may unlink segments
+        it considered leaked.  Recovery paths probe before re-exporting.
+        """
+        if self._closed:
+            return False
+        try:
+            probe = shared_memory.SharedMemory(name=self.segment_name)
+        except FileNotFoundError:
+            return False
+        probe.close()
+        return True
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:

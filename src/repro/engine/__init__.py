@@ -18,7 +18,16 @@ from repro.engine.experiment import (
     VaryingParameterExperiment,
     indicator_series,
 )
-from repro.engine.pool import WorkerPool
+from repro.engine.faults import Fault, FaultPlan
+from repro.engine.pool import WorkerPool, fan_out_shared
+from repro.engine.resilience import (
+    DEFAULT_POLICY,
+    ExecutionPolicy,
+    RunReport,
+    TaskAttempt,
+    TaskReport,
+    execute_tasks,
+)
 from repro.engine.resources import ExperimentResources
 from repro.engine.results import (
     ComparisonReport,
@@ -52,4 +61,13 @@ __all__ = [
     "merge_series",
     "run_many",
     "WorkerPool",
+    "fan_out_shared",
+    "DEFAULT_POLICY",
+    "ExecutionPolicy",
+    "RunReport",
+    "TaskAttempt",
+    "TaskReport",
+    "execute_tasks",
+    "Fault",
+    "FaultPlan",
 ]

@@ -25,6 +25,7 @@ from repro.datasets.domains import DatasetDomains
 from repro.engine.config import AnonymizationConfig
 from repro.engine.experiment import ParameterSweep, VaryingParameterExperiment
 from repro.engine.pool import WorkerPool, fan_out_shared
+from repro.engine.resilience import ExecutionPolicy, RunReport
 from repro.engine.resources import ExperimentResources
 from repro.engine.results import ComparisonReport, SweepResult
 from repro.engine.runner import resolve_mode, run_many
@@ -60,6 +61,7 @@ class MethodComparator:
         mode: str | None = None,
         pool: WorkerPool | None = None,
         universe_mode: str = "original",
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
@@ -69,6 +71,7 @@ class MethodComparator:
         self.mode = mode
         self.pool = pool
         self.universe_mode = universe_mode
+        self.policy = policy
 
     def _tasks(
         self,
@@ -97,22 +100,31 @@ class MethodComparator:
             self.resources.domains = DatasetDomains.capture(self.dataset)
         resolved = resolve_mode(self.parallel, self.mode)
         if resolved == "process" and len(configurations) > 1:
+            report = RunReport()
             sweeps = fan_out_shared(
                 self.dataset,
                 lambda payload: self._tasks(payload, configurations, sweep),
                 _run_configuration,
                 pool=self.pool,
                 max_workers=self.max_workers,
+                policy=self.policy,
+                report=report,
             )
         else:
+            report = RunReport() if self.policy is not None else None
             sweeps = run_many(
                 self._tasks(self.dataset, configurations, sweep),
                 _run_configuration,
                 mode=resolved,
                 max_workers=self.max_workers,
+                policy=self.policy,
+                report=report,
             )
         return ComparisonReport(
-            parameter=sweep.parameter, values=list(sweep.values), sweeps=list(sweeps)
+            parameter=sweep.parameter,
+            values=list(sweep.values),
+            sweeps=list(sweeps),
+            run_report=report,
         )
 
     def compare_fixed(

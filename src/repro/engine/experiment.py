@@ -29,6 +29,7 @@ from repro.datasets.domains import DatasetDomains
 from repro.engine.config import SWEEPABLE_PARAMETERS, AnonymizationConfig
 from repro.engine.evaluator import MethodEvaluator
 from repro.engine.pool import WorkerPool, fan_out_shared
+from repro.engine.resilience import ExecutionPolicy, RunReport
 from repro.engine.resources import ExperimentResources
 from repro.engine.results import EvaluationReport, Series, SweepResult
 from repro.engine.runner import resolve_mode, run_many
@@ -139,6 +140,12 @@ class VaryingParameterExperiment:
     :class:`~repro.engine.pool.WorkerPool`) to keep the workers and the
     export alive across several ``run`` calls instead of rebuilding them per
     sweep.
+
+    ``policy`` (an :class:`~repro.engine.resilience.ExecutionPolicy`)
+    controls fault tolerance: retries, per-point timeouts, crash recovery
+    and the degradation ladder.  Process fan-out is resilient even without
+    one; the resulting :class:`~repro.engine.resilience.RunReport` is
+    attached to the :class:`SweepResult` as ``run_report``.
     """
 
     def __init__(
@@ -150,6 +157,7 @@ class VaryingParameterExperiment:
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
         universe_mode: str = "original",
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
@@ -158,6 +166,7 @@ class VaryingParameterExperiment:
         self.max_workers = max_workers
         self.pool = pool
         self.universe_mode = universe_mode
+        self.policy = policy
 
     def _tasks(
         self, payload: object, config: AnonymizationConfig, sweep: ParameterSweep
@@ -182,19 +191,25 @@ class VaryingParameterExperiment:
             self.resources.domains = DatasetDomains.capture(self.dataset)
         resolved = resolve_mode(mode=self.mode)
         if resolved == "process" and len(sweep) > 1:
+            report = RunReport()
             reports = fan_out_shared(
                 self.dataset,
                 lambda payload: self._tasks(payload, config, sweep),
                 _evaluate_sweep_point,
                 pool=self.pool,
                 max_workers=self.max_workers,
+                policy=self.policy,
+                report=report,
             )
         else:
+            report = RunReport() if self.policy is not None else None
             reports = run_many(
                 self._tasks(self.dataset, config, sweep),
                 _evaluate_sweep_point,
                 mode=resolved,
                 max_workers=self.max_workers,
+                policy=self.policy,
+                report=report,
             )
         series = indicator_series(
             reports, list(sweep.values), sweep.parameter, config.display_label
@@ -205,4 +220,5 @@ class VaryingParameterExperiment:
             values=list(sweep.values),
             series=series,
             reports=reports,
+            run_report=report,
         )

@@ -15,20 +15,35 @@ per call in two ways:
   picklable manifest; tasks ship the manifest instead of the dataset, and
   workers attach zero-copy views (memoized per process).
 
-The pool owns every segment it exported: :meth:`close` (or leaving the
-context manager, including on exceptions) shuts the executor down and
-unlinks all segments; each export additionally carries a finalizer so
-segments never outlive the interpreter even if ``close`` is skipped.
+Since PR 7 the pool is also the engine's :class:`~repro.engine.resilience`
+process backend: :meth:`map` submits per-task futures under an
+:class:`~repro.engine.resilience.ExecutionPolicy` (bounded retries, task
+timeouts, a ``process → thread → sequential`` degradation ladder), and
+:meth:`respawn` is the crash-recovery hook — it replaces a broken executor,
+terminates hung workers, re-exports any shared segment a crashed worker
+generation's resource tracker destroyed, and hands back a task remapper so
+only unfinished tasks are replayed.
+
+Segment hygiene is crash-safe end to end: every export registers its segment
+name in a sidecar file *before* creation (:mod:`repro.columnar.registry`),
+constructing a pool reaps segments orphaned by hard-killed previous
+processes, exports are evicted automatically when the last reference to
+their dataset is dropped (``weakref.finalize``), and :meth:`close` (or
+leaving the context manager) unlinks everything the pool still owns.
 """
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, TypeVar
 
+from repro.columnar.registry import reap_orphaned_segments
 from repro.columnar.shared import SharedDatasetExport, SharedDatasetManifest
+from repro.engine.resilience import DEFAULT_POLICY, ExecutionPolicy, RunReport, execute_tasks
 from repro.exceptions import ConfigurationError, SecretaError
 
 if TYPE_CHECKING:
@@ -36,6 +51,9 @@ if TYPE_CHECKING:
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
+
+#: Seconds to wait for a terminated worker process before abandoning it.
+_TERMINATE_GRACE = 5.0
 
 
 def validate_max_workers(max_workers: int | None) -> None:
@@ -46,7 +64,7 @@ def validate_max_workers(max_workers: int | None) -> None:
         )
 
 
-def require_picklable_worker(worker: Callable) -> None:
+def require_picklable_worker(worker: Callable[..., Any]) -> None:
     """Fail fast, with a clear message, on workers process mode cannot ship."""
     try:
         pickle.dumps(worker)
@@ -63,6 +81,34 @@ def require_picklable_worker(worker: Callable) -> None:
         ) from error
 
 
+def _evict_export(
+    pool_ref: "weakref.ref[WorkerPool]", key: int, export: SharedDatasetExport
+) -> None:
+    """``weakref.finalize`` callback: the last dataset reference is gone, so
+    the export has no possible future user — unlink its segment and drop the
+    pool's cache entry.  Module-level so the finalizer cannot keep the pool
+    alive through a closure."""
+    pool = pool_ref()
+    if pool is not None:
+        pool._exports.pop(key, None)
+    export.close()
+
+
+def _remap_task(mapping: dict[str, SharedDatasetManifest], task: Any) -> Any:
+    """Swap stale shared-dataset manifests inside a task payload.
+
+    Tasks are either a manifest, a tuple carrying one, or plain values; the
+    remapper rewrites exactly the manifest slots whose segment went stale
+    and leaves everything else identical — replayed tasks must stay
+    byte-for-byte equivalent apart from the new segment name.
+    """
+    if isinstance(task, SharedDatasetManifest):
+        return mapping.get(task.segment, task)
+    if isinstance(task, tuple):
+        return tuple(_remap_task(mapping, element) for element in task)
+    return task
+
+
 class WorkerPool:
     """A reusable process pool plus the shared-memory exports it owns.
 
@@ -74,19 +120,34 @@ class WorkerPool:
     mp_context:
         Optional ``multiprocessing`` context (e.g. ``get_context("spawn")``);
         defaults to the platform's default start method.
+    policy:
+        The :class:`~repro.engine.resilience.ExecutionPolicy` :meth:`map`
+        applies when the caller does not pass one.
     """
 
     def __init__(
-        self, max_workers: int | None = None, mp_context: Any | None = None
+        self,
+        max_workers: int | None = None,
+        mp_context: Any | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         validate_max_workers(max_workers)
         self._max_workers = max_workers or (os.cpu_count() or 1)
         self._mp_context = mp_context
+        self._policy = policy or DEFAULT_POLICY
         self._executor: ProcessPoolExecutor | None = None
-        #: id(dataset) -> (dataset, export).  The strong dataset reference
-        #: keeps the id stable for the pool's lifetime.
-        self._exports: dict[int, tuple[Any, SharedDatasetExport]] = {}
+        #: id(dataset) -> (dataset weakref, export, eviction finalizer).  The
+        #: weak reference lets a dropped dataset free its segment immediately
+        #: (via the finalizer) instead of pinning arrays for the pool's life.
+        self._exports: dict[
+            int,
+            tuple[
+                "weakref.ref[Any]", SharedDatasetExport, "weakref.finalize"
+            ],
+        ] = {}
         self._closed = False
+        #: Segments orphaned by dead processes, unlinked at construction.
+        self.reaped_at_startup: tuple[str, ...] = tuple(reap_orphaned_segments())
 
     # -- introspection -------------------------------------------------------
     @property
@@ -97,61 +158,147 @@ class WorkerPool:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def policy(self) -> ExecutionPolicy:
+        return self._policy
+
     def segment_names(self) -> list[str]:
         """Names of the live shared-memory segments this pool owns."""
-        return [export.segment_name for _, export in self._exports.values()]
+        return [export.segment_name for _, export, _ in self._exports.values()]
 
     # -- sharing -------------------------------------------------------------
     def share(self, dataset: "Dataset") -> SharedDatasetManifest:
         """Export ``dataset`` (once) and return its picklable manifest.
 
-        Repeated calls with the same, unmutated dataset reuse the export;
-        a mutated dataset (its columnar cache was invalidated) is re-exported
-        and the stale segment unlinked immediately.
+        Repeated calls with the same, unmutated dataset reuse the export; a
+        mutated dataset (its columnar cache was invalidated) is re-exported
+        and the stale segment unlinked immediately.  The pool holds the
+        dataset only weakly: dropping the last outside reference evicts the
+        export and unlinks its segment right away.
         """
         self._require_open()
-        entry = self._exports.get(id(dataset))
+        key = id(dataset)
+        entry = self._exports.get(key)
         if entry is not None:
-            held, export = entry
-            if held is dataset and export.matches(dataset):
+            held_ref, export, finalizer = entry
+            if (
+                held_ref() is dataset
+                and export.matches(dataset)
+                and export.segment_alive()
+            ):
                 return export.manifest
+            finalizer.detach()
             export.close()
-            del self._exports[id(dataset)]
+            self._exports.pop(key, None)
         export = SharedDatasetExport(dataset)
-        self._exports[id(dataset)] = (dataset, export)
+        finalizer = weakref.finalize(
+            dataset, _evict_export, weakref.ref(self), key, export
+        )
+        finalizer.atexit = False  # pool close / export finalizer covers exit
+        self._exports[key] = (weakref.ref(dataset), export, finalizer)
         return export.manifest
+
+    # -- the resilience engine's ProcessControl hooks ------------------------
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        """Submit one call to the pool's executor (spawned lazily)."""
+        self._require_open()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._max_workers, mp_context=self._mp_context
+            )
+        return self._executor.submit(fn, *args)
+
+    def respawn(self, reason: str) -> Callable[[Any], Any] | None:
+        """Replace the executor after a crash, hang or breakage.
+
+        Tears the current executor down without waiting (terminating any
+        still-alive worker, which reclaims hung processes), re-exports every
+        shared dataset whose segment was destroyed by the dying worker
+        generation, and returns a remapper that rewrites stale manifests
+        inside unfinished task payloads (``None`` when every segment
+        survived).  The next :meth:`submit` spawns the replacement executor.
+        """
+        self._require_open()
+        self._shutdown_executor()
+        mapping = self._refresh_exports()
+        if not mapping:
+            return None
+        return functools.partial(_remap_task, mapping)
+
+    def _shutdown_executor(self) -> None:
+        """Drop the executor and make sure its workers are actually gone."""
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        # A broken pool's processes are usually dead already; a *hung* worker
+        # is not — terminate the survivors so the machine gets its CPUs back.
+        processes = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                if process.is_alive():
+                    process.terminate()
+            except (OSError, ValueError):  # pragma: no cover - already gone
+                continue
+        for process in processes:
+            try:
+                process.join(timeout=_TERMINATE_GRACE)
+            except (OSError, ValueError, AssertionError):  # pragma: no cover
+                continue
+
+    def _refresh_exports(self) -> dict[str, SharedDatasetManifest]:
+        """Re-export datasets whose shared segment no longer exists.
+
+        Returns ``{stale segment name: replacement manifest}``.  Exports
+        whose dataset has been garbage-collected are simply dropped — no
+        unfinished task can still reference them except through a manifest,
+        and such a task would have failed its attempt already.
+        """
+        mapping: dict[str, SharedDatasetManifest] = {}
+        for key, (held_ref, export, finalizer) in list(self._exports.items()):
+            if export.segment_alive():
+                continue
+            dataset = held_ref()
+            finalizer.detach()
+            export.close()
+            self._exports.pop(key, None)
+            if dataset is None:
+                continue
+            stale_name = export.segment_name
+            mapping[stale_name] = self.share(dataset)
+        return mapping
 
     # -- execution -----------------------------------------------------------
     def map(
         self,
         worker: Callable[[TaskT], ResultT],
         tasks: Sequence[TaskT] | Iterable[TaskT],
+        policy: ExecutionPolicy | None = None,
+        report: RunReport | None = None,
     ) -> list[ResultT]:
-        """Apply ``worker`` to every task in the pool, preserving order."""
+        """Apply ``worker`` to every task, preserving order, fault-tolerantly.
+
+        Each task is submitted as its own future and executed under
+        ``policy`` (the pool's default when omitted): bounded retries with
+        deterministic backoff, optional per-task timeouts, executor respawn
+        on crashes, and degradation to thread/sequential execution for tasks
+        that repeatedly kill their workers.  ``report``, when given, is
+        filled in place with the full per-task attempt history.
+        """
         self._require_open()
         require_picklable_worker(worker)
         tasks = list(tasks)
         if not tasks:
             return []
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self._max_workers, mp_context=self._mp_context
-            )
-        try:
-            return list(self._executor.map(worker, tasks))
-        except (pickle.PicklingError, TypeError, AttributeError) as error:
-            # Unpicklable payloads surface as PicklingError, TypeError
-            # ("cannot pickle ...") or AttributeError ("Can't pickle local
-            # object ..."), depending on the offending object; only translate
-            # genuine pickling failures — a worker's own TypeError must pass
-            # through untouched.
-            if isinstance(error, pickle.PicklingError) or "pickle" in str(error).lower():
-                raise ConfigurationError(
-                    f"mode='process' could not pickle a task or result "
-                    f"({error}); ship shared datasets via WorkerPool.share() "
-                    f"and keep task payloads to plain picklable values"
-                ) from error
-            raise
+        return execute_tasks(
+            tasks,
+            worker,
+            policy or self._policy,
+            backend="process",
+            process_control=self,
+            max_workers=self._max_workers,
+            report=report,
+        )
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
@@ -165,7 +312,8 @@ class WorkerPool:
                 executor.shutdown(wait=True)
         finally:
             exports, self._exports = self._exports, {}
-            for _, export in exports.values():
+            for _, export, finalizer in exports.values():
+                finalizer.detach()
                 export.close()
 
     def _require_open(self) -> None:
@@ -188,31 +336,47 @@ class WorkerPool:
 
 def fan_out_shared(
     dataset: "Dataset",
-    make_tasks: Callable[[Any], Sequence],
-    worker: Callable,
+    make_tasks: Callable[[Any], Sequence[Any]],
+    worker: Callable[..., Any],
     pool: WorkerPool | None = None,
     max_workers: int | None = None,
-) -> list:
+    policy: ExecutionPolicy | None = None,
+    report: RunReport | None = None,
+) -> list[Any]:
     """Run ``worker`` over ``make_tasks(manifest)`` with a shared dataset.
 
     The one orchestration pattern the experiment and comparator both need:
     export ``dataset`` to shared memory, build the tasks around the manifest,
     and fan them out — on the caller's persistent ``pool`` when given (the
     export is cached there), otherwise on an ephemeral pool sized to the
-    task count and torn down (segments unlinked) before returning.
+    task count and torn down (segments unlinked) before returning.  The
+    fan-out runs under ``policy`` (the pool's default when omitted) and
+    fills ``report`` in place when one is given.
     """
     from repro.engine.runner import run_many
 
     validate_max_workers(max_workers)
     if pool is not None:
         return run_many(
-            make_tasks(pool.share(dataset)), worker, mode="process", pool=pool
+            make_tasks(pool.share(dataset)),
+            worker,
+            mode="process",
+            pool=pool,
+            policy=policy,
+            report=report,
         )
-    export = SharedDatasetExport(dataset)
-    try:
-        tasks = make_tasks(export.manifest)
-        workers = max_workers or min(len(tasks), os.cpu_count() or 1)
-        with WorkerPool(max_workers=workers) as ephemeral:
-            return run_many(tasks, worker, mode="process", pool=ephemeral)
-    finally:
-        export.close()
+    # The ephemeral pool (rather than a bare export) owns the segment so the
+    # crash-recovery path can re-export it; its executor is spawned lazily,
+    # which leaves room to right-size the pool once the task count is known.
+    with WorkerPool(max_workers=max_workers, policy=policy) as ephemeral:
+        tasks = make_tasks(ephemeral.share(dataset))
+        if max_workers is None:
+            ephemeral._max_workers = min(len(tasks) or 1, os.cpu_count() or 1)
+        return run_many(
+            tasks,
+            worker,
+            mode="process",
+            pool=ephemeral,
+            policy=policy,
+            report=report,
+        )

@@ -1,0 +1,674 @@
+"""Fault-tolerant task execution: policies, retries, timeouts, degradation.
+
+The pre-PR-7 fan-out was a bare ``executor.map``: one crashed or hung worker
+killed the whole sweep, and the exception that surfaced did not even say
+which task failed.  This module is the execution discipline the engine's
+COAT/PCTA/clustering sweeps run under instead:
+
+* **per-task futures** — every task is submitted individually, so one
+  failure is one task's problem and every other result survives;
+* :class:`ExecutionPolicy` — bounded retries with exponential backoff and
+  deterministic jitter, a per-task timeout, and a degradation ladder
+  (``process → thread → sequential``) for tasks that repeatedly kill their
+  workers;
+* **crash recovery** — a ``BrokenProcessPool`` (worker crash, SIGKILL, OOM)
+  or a task timeout respawns the executor through the
+  :class:`ProcessControl` hook, re-exports any shared-memory segment that
+  went stale, and replays only the unfinished tasks;
+* :class:`RunReport` — the structured account of what actually happened:
+  per-task attempts with durations and error chains, executor respawns,
+  ladder degradations and the backend each task finally completed on.
+
+Failures are classified into four outcomes.  ``crash`` and ``timeout`` are
+*hard*: they indict the worker process, count toward the degradation ladder
+and are always retried.  ``corrupt`` (a result the policy's validator
+rejects, or a :class:`~repro.engine.faults.Corrupted` marker) is retried
+within the attempt budget.  ``error`` (an ordinary worker exception) is
+deterministic in this codebase's pure workers, so it fails fast by default —
+wrapped in :class:`~repro.exceptions.TaskError` with the task index, attempt
+count and original exception chained — unless ``retry_errors`` is set.
+
+Every retry loop here is bounded by the policy (``max_attempts`` per ladder
+rung, at most ``len(ladder)`` rungs); the REP007 linter rule keeps it that
+way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.engine.faults import Corrupted, FaultPlan, faulted_call
+from repro.exceptions import ConfigurationError, TaskError
+
+#: The degradation ladder's rungs, strongest isolation first.
+BACKENDS = ("process", "thread", "sequential")
+
+#: Outcomes that indict the worker process rather than the task's own code.
+HARD_OUTCOMES = frozenset({"crash", "timeout"})
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How hard the engine tries before declaring a task failed.
+
+    Parameters
+    ----------
+    task_timeout:
+        Seconds of dedicated wait per attempt before the task is declared
+        hung and its worker reclaimed (``None`` disables the timeout).
+    max_attempts:
+        Attempt budget *per ladder rung*; across the whole ladder a task is
+        tried at most ``max_attempts * len(ladder)`` times.
+    backoff_base, backoff_factor, backoff_max:
+        Exponential backoff before retry *n* sleeps
+        ``min(backoff_max, backoff_base * backoff_factor**n)`` seconds,
+        scaled by deterministic jitter.
+    backoff_jitter:
+        Fraction (0..1) of the delay that jitter may remove.  The jitter is
+        a hash of ``(seed, task index, attempt)`` — reproducible, yet
+        de-synchronised across tasks.
+    seed:
+        Jitter seed; same seed, same delays.
+    retry_errors:
+        Retry ordinary worker exceptions too.  Off by default: the engine's
+        workers are deterministic, so an exception would simply recur.
+    degrade_after:
+        Hard failures (crash/timeout) on a rung before the task is demoted
+        to the next rung of ``ladder``.
+    ladder:
+        The backends a task may fall through, in order.  Execution starts at
+        the caller's backend and only moves toward ``sequential``.
+    validate_result:
+        Optional predicate; a result it rejects counts as a ``corrupt``
+        attempt and is retried.  Runs in the orchestrating process.
+    fault_plan:
+        Deterministic fault injection for chaos tests
+        (:mod:`repro.engine.faults`); ``None`` in production.
+    """
+
+    task_timeout: float | None = None
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    backoff_jitter: float = 0.25
+    seed: int = 0
+    retry_errors: bool = False
+    degrade_after: int = 2
+    ladder: tuple[str, ...] = BACKENDS
+    validate_result: Callable[[Any], bool] | None = None
+    fault_plan: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigurationError(
+                f"task_timeout must be positive or None, got {self.task_timeout!r}"
+            )
+        if self.degrade_after < 1:
+            raise ConfigurationError(
+                f"degrade_after must be >= 1, got {self.degrade_after!r}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_max < 0:
+            raise ConfigurationError(
+                "backoff_base/backoff_max must be >= 0 and backoff_factor >= 1"
+            )
+        if not 0 <= self.backoff_jitter <= 1:
+            raise ConfigurationError(
+                f"backoff_jitter must be within [0, 1], got {self.backoff_jitter!r}"
+            )
+        unknown = [rung for rung in self.ladder if rung not in BACKENDS]
+        if unknown or not self.ladder:
+            raise ConfigurationError(
+                f"ladder must be a non-empty subset of {BACKENDS}, got {self.ladder!r}"
+            )
+
+    def backoff_delay(self, task_index: int, attempt: int) -> float:
+        """Deterministic backoff before retry ``attempt`` of ``task_index``."""
+        raw = min(self.backoff_max, self.backoff_base * self.backoff_factor**attempt)
+        if raw <= 0:
+            return 0.0
+        digest = hashlib.blake2s(
+            f"{self.seed}:{task_index}:{attempt}".encode(), digest_size=8
+        ).digest()
+        fraction = int.from_bytes(digest, "big") / 2**64
+        return raw * (1.0 - self.backoff_jitter * fraction)
+
+    def rungs_from(self, backend: str) -> tuple[str, ...]:
+        """The effective ladder when execution starts on ``backend``."""
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        position = BACKENDS.index(backend)
+        return (backend,) + tuple(
+            rung for rung in BACKENDS[position + 1 :] if rung in self.ladder
+        )
+
+
+#: The policy the pool applies when the caller does not hand one over.
+DEFAULT_POLICY = ExecutionPolicy()
+
+
+# -- run reporting -----------------------------------------------------------
+@dataclass
+class TaskAttempt:
+    """One attempt of one task: where it ran and how it ended."""
+
+    attempt: int  # 0-based ordinal across all backends
+    backend: str
+    outcome: str  # "ok" | "error" | "timeout" | "crash" | "corrupt"
+    duration_seconds: float
+    error: str = ""
+    #: ``repr`` of the ``__cause__``/``__context__`` chain, outermost first.
+    error_chain: tuple[str, ...] = ()
+
+
+@dataclass
+class TaskReport:
+    """Everything one task went through on its way to a result."""
+
+    index: int
+    attempts: list[TaskAttempt] = field(default_factory=list)
+    #: Times the task was resubmitted without being charged an attempt
+    #: (its executor died while the task was merely queued or in flight).
+    replays: int = 0
+    final_backend: str = ""
+    completed: bool = False
+
+    @property
+    def retries(self) -> int:
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def outcomes(self) -> list[str]:
+        return [attempt.outcome for attempt in self.attempts]
+
+
+@dataclass
+class RunReport:
+    """The structured account of one resilient fan-out."""
+
+    tasks: list[TaskReport] = field(default_factory=list)
+    backend: str = ""  # the backend the run started on
+    respawns: int = 0
+    degradations: int = 0
+    wall_seconds: float = 0.0
+
+    def task(self, index: int) -> TaskReport:
+        for task in self.tasks:
+            if task.index == index:
+                return task
+        raise ConfigurationError(f"no task {index} in this report")
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(len(task.attempts) for task in self.tasks)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(task.retries for task in self.tasks)
+
+    @property
+    def faulted_tasks(self) -> list[int]:
+        """Indices that needed more than one attempt (or a replay)."""
+        return [
+            task.index
+            for task in self.tasks
+            if task.retries or task.replays or not task.completed
+        ]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "tasks": len(self.tasks),
+            "backend": self.backend,
+            "total_attempts": self.total_attempts,
+            "total_retries": self.total_retries,
+            "replays": sum(task.replays for task in self.tasks),
+            "respawns": self.respawns,
+            "degradations": self.degradations,
+            "faulted_tasks": self.faulted_tasks,
+            "final_backends": sorted(
+                {task.final_backend for task in self.tasks if task.final_backend}
+            ),
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+# -- backend controls --------------------------------------------------------
+class ProcessControl(Protocol):
+    """What the engine needs from a process pool: submission and rebirth."""
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        """Submit one call to the pool's current executor."""
+
+    def respawn(self, reason: str) -> Callable[[Any], Any] | None:
+        """Tear the executor down (reclaiming crashed/hung workers), respawn
+        it lazily, and return a task remapper that swaps re-exported
+        shared-memory manifests into unfinished task payloads (or ``None``
+        when nothing went stale)."""
+
+
+class _ThreadControl:
+    """Thread-rung control: an abandonable single-use thread pool.
+
+    A hung thread cannot be killed, so ``respawn`` abandons the executor
+    (non-blocking shutdown) and lazily builds a fresh one; the leaked thread
+    finishes or idles harmlessly.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        self._max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self._max_workers)
+        return self._executor.submit(fn, *args)
+
+    def respawn(self, reason: str) -> Callable[[Any], Any] | None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return None
+
+    def close(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+# -- task state --------------------------------------------------------------
+@dataclass
+class _TaskState:
+    index: int
+    task: Any
+    report: TaskReport
+    rung: int = 0  # index into the effective ladder
+    rung_attempts: int = 0
+    hard_failures: int = 0  # crash/timeout count on the current rung
+    total_attempts: int = 0
+    done: bool = False
+    result: Any = None
+    last_error: BaseException | None = None
+
+    @property
+    def last_outcome(self) -> str:
+        return self.report.attempts[-1].outcome if self.report.attempts else ""
+
+
+def _error_chain(error: BaseException) -> tuple[str, ...]:
+    chain: list[str] = []
+    current: BaseException | None = error
+    while current is not None and len(chain) < 8:
+        chain.append(repr(current))
+        current = current.__cause__ or current.__context__
+    return tuple(chain)
+
+
+def _sleep_backoff(policy: ExecutionPolicy, task_index: int, attempt: int) -> None:
+    """The one sanctioned backoff sleep (see REP007): policy-bounded and
+    deterministically jittered."""
+    delay = policy.backoff_delay(task_index, attempt)
+    if delay > 0:
+        time.sleep(delay)
+
+
+def _translate_pickling_error(error: BaseException) -> None:
+    """Raise the engine's typed error for task/result pickling failures.
+
+    Unpicklable payloads surface as ``PicklingError``, ``TypeError``
+    ("cannot pickle ...") or ``AttributeError`` ("Can't pickle local object
+    ..."), depending on the offending object; a worker's own ``TypeError``
+    must pass through untouched.
+    """
+    if not isinstance(error, (pickle.PicklingError, TypeError, AttributeError)):
+        return
+    if isinstance(error, pickle.PicklingError) or "pickle" in str(error).lower():
+        raise ConfigurationError(
+            f"mode='process' could not pickle a task or result ({error}); "
+            f"ship shared datasets via WorkerPool.share() and keep task "
+            f"payloads to plain picklable values"
+        ) from error
+
+
+def _record(
+    state: _TaskState,
+    backend: str,
+    outcome: str,
+    started: float,
+    error: BaseException | None,
+) -> None:
+    state.report.attempts.append(
+        TaskAttempt(
+            attempt=state.total_attempts,
+            backend=backend,
+            outcome=outcome,
+            duration_seconds=time.perf_counter() - started,
+            error=repr(error) if error is not None else "",
+            error_chain=_error_chain(error) if error is not None else (),
+        )
+    )
+    state.total_attempts += 1
+    state.rung_attempts += 1
+    state.last_error = error
+    if outcome in HARD_OUTCOMES:
+        state.hard_failures += 1
+    if outcome == "ok":
+        state.done = True
+        state.report.completed = True
+        state.report.final_backend = backend
+
+
+def _task_error(state: _TaskState, backend: str, detail: str) -> TaskError:
+    return TaskError(
+        f"task {state.index} failed on the {backend} backend after "
+        f"{state.total_attempts} attempt(s) ({detail}); outcomes: "
+        f"{state.report.outcomes}",
+        task_index=state.index,
+        attempts=state.total_attempts,
+        backend=backend,
+    )
+
+
+def _call_arguments(
+    worker: Callable[[Any], Any], state: _TaskState, policy: ExecutionPolicy
+) -> tuple[Callable[..., Any], tuple[Any, ...]]:
+    """The (callable, args) actually submitted for this attempt: the bare
+    worker on the no-fault path, the fault wrapper under a plan."""
+    if policy.fault_plan is None:
+        return worker, (state.task,)
+    return faulted_call, (
+        worker,
+        state.task,
+        state.index,
+        state.total_attempts,
+        policy.fault_plan,
+    )
+
+
+def _accept(
+    state: _TaskState,
+    value: Any,
+    policy: ExecutionPolicy,
+    backend: str,
+    started: float,
+) -> None:
+    """Classify a returned value: store it, or charge a ``corrupt`` attempt."""
+    corrupt = isinstance(value, Corrupted) or (
+        policy.validate_result is not None and not policy.validate_result(value)
+    )
+    if corrupt:
+        _record(state, backend, "corrupt", started, None)
+        return
+    state.result = value
+    _record(state, backend, "ok", started, None)
+
+
+def _settle(
+    state: _TaskState,
+    policy: ExecutionPolicy,
+    backend: str,
+    has_next_rung: bool,
+    report: RunReport,
+) -> None:
+    """Decide a failed task's fate after an attempt: retry, demote or raise."""
+    hard = state.last_outcome in HARD_OUTCOMES
+    exhausted = state.rung_attempts >= policy.max_attempts
+    if hard and has_next_rung and (state.hard_failures >= policy.degrade_after or exhausted):
+        state.rung += 1
+        state.rung_attempts = 0
+        state.hard_failures = 0
+        report.degradations += 1
+        return
+    if exhausted:
+        raise _task_error(
+            state, backend, f"attempt budget exhausted ({state.last_outcome})"
+        ) from state.last_error
+
+
+# -- the engine --------------------------------------------------------------
+def execute_tasks(
+    tasks: Sequence[Any],
+    worker: Callable[[Any], Any],
+    policy: ExecutionPolicy,
+    *,
+    backend: str = "sequential",
+    process_control: ProcessControl | None = None,
+    max_workers: int | None = None,
+    report: RunReport | None = None,
+) -> list[Any]:
+    """Run ``worker`` over ``tasks`` under ``policy``, preserving order.
+
+    ``backend`` is the rung execution starts on; tasks that repeatedly kill
+    their workers fall down the policy's ladder toward ``sequential``.
+    Process execution needs a ``process_control`` (the pool's respawn hook).
+    When ``report`` is given it is filled in place — the caller keeps it.
+    """
+    if backend == "process" and process_control is None:
+        raise ConfigurationError(
+            "process execution needs a process_control (a WorkerPool)"
+        )
+    run_report = report if report is not None else RunReport()
+    if not run_report.backend:
+        run_report.backend = backend
+    started_run = time.perf_counter()
+    states = [
+        _TaskState(index=index, task=task, report=TaskReport(index=index))
+        for index, task in enumerate(tasks)
+    ]
+    run_report.tasks.extend(state.report for state in states)
+    rungs = policy.rungs_from(backend)
+    try:
+        for rung_index, rung in enumerate(rungs):
+            rung_states = [
+                state
+                for state in states
+                if not state.done and state.rung == rung_index
+            ]
+            if not rung_states:
+                continue
+            has_next = rung_index + 1 < len(rungs)
+            if rung == "sequential":
+                _run_sequential_rung(
+                    rung_states, worker, policy, run_report, has_next
+                )
+            elif rung == "thread":
+                control = _ThreadControl(
+                    max_workers=max_workers or len(rung_states)
+                )
+                try:
+                    _run_pooled_rung(
+                        rung_states, worker, policy, control, run_report,
+                        "thread", rung_index, has_next,
+                    )
+                finally:
+                    control.close()
+            else:
+                if process_control is None:  # pragma: no cover - guarded above
+                    raise ConfigurationError("process rung without a pool")
+                _run_pooled_rung(
+                    rung_states, worker, policy, process_control, run_report,
+                    "process", rung_index, has_next,
+                )
+    finally:
+        run_report.wall_seconds += time.perf_counter() - started_run
+    return [state.result for state in states]
+
+
+def _run_pooled_rung(
+    rung_states: list[_TaskState],
+    worker: Callable[[Any], Any],
+    policy: ExecutionPolicy,
+    control: ProcessControl,
+    report: RunReport,
+    backend: str,
+    rung_index: int,
+    has_next_rung: bool,
+) -> None:
+    """Drive one executor-backed rung to completion (or demotion).
+
+    A state demoted by :func:`_settle` leaves ``pending`` on the next
+    refresh (its ``rung`` no longer matches ``rung_index``) and is picked up
+    by the caller's next ladder iteration.
+    """
+
+    def remaining() -> list[_TaskState]:
+        return [
+            state
+            for state in rung_states
+            if not state.done and state.rung == rung_index
+        ]
+
+    pending = remaining()
+    while pending:
+        futures = _submit_round(pending, worker, policy, control, report)
+        interrupted = False
+        for position, (state, future) in enumerate(futures):
+            if state.done:
+                continue
+            started = time.perf_counter()
+            try:
+                value = future.result(timeout=policy.task_timeout)
+            except BrokenProcessPool as error:
+                _record(state, backend, "crash", started, error)
+                _interrupt_round(
+                    "worker process died", futures[position + 1 :], control, report
+                )
+                interrupted = True
+            except FutureTimeoutError as error:
+                future.cancel()
+                _record(state, backend, "timeout", started, error)
+                _interrupt_round(
+                    "task timed out; reclaiming its worker",
+                    futures[position + 1 :],
+                    control,
+                    report,
+                )
+                interrupted = True
+            except ConfigurationError:
+                _cancel_all(futures)
+                raise
+            except Exception as error:  # noqa: BLE001 - classified below
+                _translate_pickling_error(error)
+                _record(state, backend, "error", started, error)
+                if not policy.retry_errors:
+                    _cancel_all(futures)
+                    raise _task_error(state, backend, "worker raised") from error
+            else:
+                _accept(state, value, policy, backend, started)
+            if not state.done:
+                _settle(state, policy, backend, has_next_rung, report)
+            if interrupted:
+                break
+        pending = remaining()
+
+
+def _submit_round(
+    pending: list[_TaskState],
+    worker: Callable[[Any], Any],
+    policy: ExecutionPolicy,
+    control: ProcessControl,
+    report: RunReport,
+) -> list[tuple[_TaskState, "Future[Any]"]]:
+    """Submit every pending task once, backing off retries deterministically.
+
+    A pool that is already broken at submission time is respawned and the
+    round retried; the loop is bounded because a second breakage without any
+    intervening submission means the respawn itself cannot produce a working
+    pool, which surfaces as the final ``BrokenProcessPool``.
+    """
+    for state in pending:
+        if state.total_attempts:
+            _sleep_backoff(policy, state.index, state.total_attempts - 1)
+    futures: list[tuple[_TaskState, "Future[Any]"]] = []
+    for round_attempt in (0, 1):
+        try:
+            for state in pending[len(futures) :]:
+                fn, args = _call_arguments(worker, state, policy)
+                futures.append((state, control.submit(fn, *args)))
+            return futures
+        except BrokenProcessPool:
+            if round_attempt:
+                raise
+            for state, _future in futures:
+                state.report.replays += 1
+            futures.clear()
+            report.respawns += 1
+            remap = control.respawn("executor broken at submission")
+            _apply_remap(remap, pending)
+    return futures
+
+
+def _interrupt_round(
+    reason: str,
+    rest: list[tuple[_TaskState, "Future[Any]"]],
+    control: ProcessControl,
+    report: RunReport,
+) -> None:
+    """Handle an executor loss mid-round: respawn it, remap stale manifests
+    and book a replay (not an attempt) for every other in-flight task."""
+    report.respawns += 1
+    remap = control.respawn(reason)
+    survivors = [state for state, _future in rest if not state.done]
+    for state in survivors:
+        state.report.replays += 1
+    _apply_remap(remap, survivors)
+
+
+def _cancel_all(futures: list[tuple[_TaskState, "Future[Any]"]]) -> None:
+    for _state, future in futures:
+        future.cancel()
+
+
+def _apply_remap(
+    remap: Callable[[Any], Any] | None, states: Sequence[_TaskState]
+) -> None:
+    if remap is None:
+        return
+    for state in states:
+        state.task = remap(state.task)
+
+
+def _run_sequential_rung(
+    rung_states: list[_TaskState],
+    worker: Callable[[Any], Any],
+    policy: ExecutionPolicy,
+    report: RunReport,
+    has_next_rung: bool,
+) -> None:
+    """The ladder's floor: in-process execution with bounded retries.
+
+    No timeout is enforced here — there is no worker left to reclaim — and a
+    crash at this rung would be a crash of the orchestrator itself.
+    """
+    for state in rung_states:
+        while not state.done:
+            if state.total_attempts:
+                _sleep_backoff(policy, state.index, state.total_attempts - 1)
+            started = time.perf_counter()
+            fn, args = _call_arguments(worker, state, policy)
+            try:
+                value = fn(*args)
+            except ConfigurationError:
+                raise
+            except Exception as error:  # noqa: BLE001 - classified below
+                _record(state, "sequential", "error", started, error)
+                if not policy.retry_errors:
+                    raise _task_error(
+                        state, "sequential", "worker raised"
+                    ) from error
+            else:
+                _accept(state, value, policy, "sequential", started)
+            if not state.done:
+                _settle(state, policy, "sequential", has_next_rung, report)

@@ -12,6 +12,7 @@ from typing import Any, Iterable
 
 from repro.algorithms.base import AnonymizationResult
 from repro.datasets.dataset import Dataset
+from repro.engine.resilience import RunReport
 
 
 @dataclass
@@ -85,6 +86,11 @@ class SweepResult:
     values: list[Any]
     series: dict[str, Series]
     reports: list[EvaluationReport] = field(default_factory=list)
+    #: How the sweep's fan-out actually went (attempts, retries, respawns,
+    #: degradations); ``None`` for plain sequential/thread runs without an
+    #: execution policy.  Excluded from :meth:`as_dict` exports — recovery
+    #: timing is not part of the scientific result.
+    run_report: RunReport | None = None
 
     def series_names(self) -> list[str]:
         return sorted(self.series)
@@ -105,6 +111,9 @@ class ComparisonReport:
     parameter: str
     values: list[Any]
     sweeps: list[SweepResult]
+    #: Fan-out account of the comparison itself (one entry per
+    #: configuration-task); ``None`` without a policy or process fan-out.
+    run_report: RunReport | None = None
 
     def series_for(self, indicator: str) -> list[Series]:
         """One series per configuration for the requested indicator."""

@@ -28,6 +28,7 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Iterable, Literal, Sequence, TypeVar
 
+from repro.engine.resilience import ExecutionPolicy, RunReport, execute_tasks
 from repro.exceptions import ConfigurationError
 
 if TYPE_CHECKING:
@@ -59,6 +60,8 @@ def run_many(
     max_workers: int | None = None,
     mode: str | None = None,
     pool: "WorkerPool | None" = None,
+    policy: "ExecutionPolicy | None" = None,
+    report: RunReport | None = None,
 ) -> list[ResultT]:
     """Apply ``worker`` to every task, preserving input order.
 
@@ -73,6 +76,14 @@ def run_many(
     process mode; without one, an ephemeral pool is created for the call.
     ``pool`` is ignored by the sequential and thread backends, and its own
     worker count takes precedence over ``max_workers``.
+
+    ``policy`` selects the :class:`~repro.engine.resilience.ExecutionPolicy`
+    the run executes under.  Process mode is *always* resilient (per-task
+    futures, bounded retries, crash recovery; the pool's default policy
+    applies when ``policy`` is omitted).  Sequential and thread mode run the
+    plain fast path unless a ``policy`` or ``report`` is passed, in which
+    case they route through the same engine — with retries, deterministic
+    backoff and the per-task attempt history filled into ``report``.
     """
     from repro.engine.pool import WorkerPool, validate_max_workers
 
@@ -81,13 +92,26 @@ def run_many(
     tasks = list(tasks)
     if not tasks:
         return []
-    if resolved == "sequential" or len(tasks) == 1:
+    resilient = policy is not None or report is not None
+    if not resilient and (resolved == "sequential" or len(tasks) == 1):
         return [worker(task) for task in tasks]
-    workers = max_workers or min(len(tasks), os.cpu_count() or 1)
-    if resolved == "thread":
+    if resolved == "thread" and not resilient:
+        workers = max_workers or min(len(tasks), os.cpu_count() or 1)
         with ThreadPoolExecutor(max_workers=workers) as executor:
             return list(executor.map(worker, tasks))
+    if resolved != "process":
+        from repro.engine.resilience import DEFAULT_POLICY
+
+        return execute_tasks(
+            tasks,
+            worker,
+            policy or DEFAULT_POLICY,
+            backend=resolved,
+            max_workers=max_workers or min(len(tasks), os.cpu_count() or 1),
+            report=report,
+        )
     if pool is not None:
-        return pool.map(worker, tasks)
-    with WorkerPool(max_workers=workers) as ephemeral:
-        return ephemeral.map(worker, tasks)
+        return pool.map(worker, tasks, policy=policy, report=report)
+    workers = max_workers or min(len(tasks), os.cpu_count() or 1)
+    with WorkerPool(max_workers=workers, policy=policy) as ephemeral:
+        return ephemeral.map(worker, tasks, report=report)

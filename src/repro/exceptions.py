@@ -37,6 +37,32 @@ class ConfigurationError(SecretaError):
     """An anonymization configuration is invalid for the selected algorithm."""
 
 
+class ExecutionError(SecretaError):
+    """The execution engine could not complete a task run."""
+
+
+class TaskError(ExecutionError):
+    """One task of a fan-out failed after exhausting its execution policy.
+
+    Carries the identity the bare executor errors used to lose: which task
+    failed (``task_index``), how often it was tried (``attempts``) and on
+    which backend it last ran (``backend``).  The original worker exception
+    is chained as ``__cause__`` when one exists.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_index: int = -1,
+        attempts: int = 0,
+        backend: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.task_index = task_index
+        self.attempts = attempts
+        self.backend = backend
+
+
 class AlgorithmError(SecretaError):
     """An anonymization algorithm failed to produce a valid result."""
 

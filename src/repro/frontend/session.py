@@ -29,6 +29,7 @@ from repro.engine.config import AnonymizationConfig
 from repro.engine.evaluator import MethodEvaluator
 from repro.engine.experiment import ParameterSweep, VaryingParameterExperiment
 from repro.engine.pool import WorkerPool
+from repro.engine.resilience import ExecutionPolicy
 from repro.engine.resources import ExperimentResources
 from repro.engine.results import ComparisonReport, EvaluationReport, SweepResult
 from repro.exceptions import ConfigurationError
@@ -140,7 +141,11 @@ class Session:
         )
         return evaluator.evaluate(config)
 
-    def worker_pool(self, max_workers: int | None = None) -> WorkerPool:
+    def worker_pool(
+        self,
+        max_workers: int | None = None,
+        policy: ExecutionPolicy | None = None,
+    ) -> WorkerPool:
         """A persistent process pool for repeated sweeps and comparisons.
 
         The pool spawns its workers once, and the first process-mode
@@ -154,8 +159,12 @@ class Session:
             with session.worker_pool() as pool:
                 session.sweep(config_a, "k", 2, 10, 2, mode="process", pool=pool)
                 session.sweep(config_b, "k", 2, 10, 2, mode="process", pool=pool)
+
+        ``policy`` sets the pool's default
+        :class:`~repro.engine.resilience.ExecutionPolicy` — task timeouts,
+        retry budget, degradation ladder (see ``docs/robustness.md``).
         """
-        return WorkerPool(max_workers=max_workers)
+        return WorkerPool(max_workers=max_workers, policy=policy)
 
     def sweep(
         self,
@@ -169,6 +178,7 @@ class Session:
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
         universe_mode: str = "original",
+        policy: ExecutionPolicy | None = None,
     ) -> SweepResult:
         """Varying-parameter execution of a single configuration.
 
@@ -178,7 +188,10 @@ class Session:
         dataset travels to the workers through shared memory, and a
         persistent ``pool`` (see :meth:`worker_pool`) reuses the workers and
         the export across calls.  ``universe_mode`` selects the ARE label
-        resolution semantics (see :meth:`evaluate`).
+        resolution semantics (see :meth:`evaluate`).  ``policy`` tunes fault
+        tolerance (retries, timeouts, degradation); the run's
+        :class:`~repro.engine.resilience.RunReport` lands on the result's
+        ``run_report``.
         """
         experiment = VaryingParameterExperiment(
             self.dataset,
@@ -188,6 +201,7 @@ class Session:
             max_workers=max_workers,
             pool=pool,
             universe_mode=universe_mode,
+            policy=policy,
         )
         return experiment.run(config, ParameterSweep.from_range(parameter, start, end, step))
 
@@ -205,6 +219,7 @@ class Session:
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
         universe_mode: str = "original",
+        policy: ExecutionPolicy | None = None,
     ) -> ComparisonReport:
         """Run several configurations across a sweep and collect their series.
 
@@ -212,7 +227,9 @@ class Session:
         (capped by ``max_workers``), shipping the dataset through shared
         memory; a persistent ``pool`` (see :meth:`worker_pool`) reuses the
         workers and the export across calls.  ``parallel=True`` keeps
-        selecting the legacy thread pool.
+        selecting the legacy thread pool.  ``policy`` tunes fault tolerance;
+        the fan-out's :class:`~repro.engine.resilience.RunReport` lands on
+        the report's ``run_report``.
         """
         if not configurations:
             raise ConfigurationError("the Comparison mode needs at least one configuration")
@@ -225,6 +242,7 @@ class Session:
             mode=mode,
             pool=pool,
             universe_mode=universe_mode,
+            policy=policy,
         )
         return comparator.compare(
             configurations, ParameterSweep.from_range(parameter, start, end, step)

@@ -144,6 +144,7 @@ class TestRegistry:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         }
 
     def test_rule_by_code_is_case_insensitive(self):

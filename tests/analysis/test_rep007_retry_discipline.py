@@ -1,0 +1,177 @@
+"""REP007: retry-discipline fixtures."""
+
+from __future__ import annotations
+
+from lint_harness import new_codes
+
+from repro.analysis.core import rule_by_code
+from repro.analysis.manifest import InvariantManifest
+
+MANIFEST = InvariantManifest(
+    retry_scope=("src/pkg/engine",),
+    resubmit_calls=("submit", "execute_tasks"),
+    sleep_helpers=("src/pkg/engine/backoff.py::_sleep_backoff",),
+)
+
+UNBOUNDED_RETRY = """
+    def keep_trying(pool, task):
+        while True:
+            future = pool.submit(task)
+            if future.done():
+                return future.result()
+"""
+
+BOUNDED_RETRY = """
+    def bounded(pool, task, policy):
+        for attempt in range(policy.max_attempts):
+            future = pool.submit(task)
+            if future.done():
+                return future.result()
+        raise TaskError("attempt budget exhausted")
+"""
+
+WHILE_PENDING = """
+    def drain(pool, pending):
+        while pending:
+            state = pending.pop()
+            pool.submit(state.task)
+"""
+
+WHILE_TRUE_WITHOUT_SUBMIT = """
+    def poll(queue):
+        while True:
+            item = queue.get()
+            if item is None:
+                return
+"""
+
+NESTED_DEF_DOES_NOT_LEAK = """
+    def outer(pool):
+        while True:
+            def later(task):
+                return pool.submit(task)
+            if ready():
+                return later
+"""
+
+BARE_SLEEP = """
+    import time
+
+    def settle(pool, task):
+        pool.submit(task)
+        time.sleep(1.0)
+"""
+
+SANCTIONED_SLEEP = """
+    import time
+
+    def _sleep_backoff(policy, task_index, attempt):
+        delay = policy.backoff_delay(task_index, attempt)
+        if delay > 0.0:
+            time.sleep(delay)
+"""
+
+
+class TestRep007:
+    def test_while_true_submit_loop_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/engine/loop.py",
+            UNBOUNDED_RETRY,
+            manifest=MANIFEST,
+            select=["REP007"],
+        )
+        assert new_codes(findings) == ["REP007"]
+        assert "submit" in findings[0].message
+
+    def test_attempt_bounded_loop_is_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/engine/loop.py",
+                BOUNDED_RETRY,
+                manifest=MANIFEST,
+                select=["REP007"],
+            )
+            == []
+        )
+
+    def test_while_pending_drain_is_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/engine/loop.py",
+                WHILE_PENDING,
+                manifest=MANIFEST,
+                select=["REP007"],
+            )
+            == []
+        )
+
+    def test_while_true_without_submission_is_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/engine/loop.py",
+                WHILE_TRUE_WITHOUT_SUBMIT,
+                manifest=MANIFEST,
+                select=["REP007"],
+            )
+            == []
+        )
+
+    def test_submit_inside_nested_def_is_not_charged_to_the_loop(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/engine/loop.py",
+                NESTED_DEF_DOES_NOT_LEAK,
+                manifest=MANIFEST,
+                select=["REP007"],
+            )
+            == []
+        )
+
+    def test_bare_sleep_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/engine/settle.py",
+            BARE_SLEEP,
+            manifest=MANIFEST,
+            select=["REP007"],
+        )
+        assert new_codes(findings) == ["REP007"]
+        assert "sleep" in findings[0].message
+
+    def test_sleep_inside_the_sanctioned_helper_is_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/engine/backoff.py",
+                SANCTIONED_SLEEP,
+                manifest=MANIFEST,
+                select=["REP007"],
+            )
+            == []
+        )
+
+    def test_out_of_scope_module_is_ignored(self, harness):
+        assert (
+            harness.findings(
+                "tools/retry_forever.py",
+                UNBOUNDED_RETRY,
+                manifest=MANIFEST,
+                select=["REP007"],
+            )
+            == []
+        )
+
+    def test_inline_allow_with_reason_suppresses(self, harness):
+        source = BARE_SLEEP.replace(
+            "time.sleep(1.0)",
+            "time.sleep(1.0)  "
+            "# repro: allow[REP007] -- fixture: the sleep is the behaviour under test",
+        )
+        findings = harness.findings(
+            "src/pkg/engine/settle.py", source, manifest=MANIFEST, select=["REP007"]
+        )
+        assert new_codes(findings) == []
+
+    def test_explain_text_exists(self):
+        rule = rule_by_code("REP007")
+        assert rule is not None
+        assert rule.name == "retry-discipline"
+        assert "ExecutionPolicy" in rule.explanation

@@ -1,0 +1,98 @@
+"""Unit tests for the deterministic fault-injection harness (`repro.engine.faults`).
+
+The chaos suites trust the harness to fire exactly where scheduled; these
+tests pin that contract: coordinate matching, picklability (a plan ships to
+worker processes inside every submission), the soft-fault behaviours, and
+the pid gate that keeps hard faults from killing the orchestrating process
+when a task has been degraded to an in-parent backend.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.engine.faults import (
+    FAULT_KINDS,
+    Corrupted,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    faulted_call,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _double(value: int) -> int:
+    return value * 2
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            Fault(task_index=0, attempt=0, kind="explode")
+
+    def test_negative_task_index_rejected(self):
+        with pytest.raises(ConfigurationError, match="task_index"):
+            Fault(task_index=-1, attempt=0, kind="error")
+
+    def test_attempt_below_minus_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="attempt"):
+            Fault(task_index=0, attempt=-2, kind="error")
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_all_declared_kinds_construct(self, kind):
+        assert Fault(task_index=0, attempt=0, kind=kind).kind == kind
+
+
+class TestFaultPlan:
+    def test_build_shorthand_and_kind_for(self):
+        plan = FaultPlan.build((0, 0, "crash"), (2, 1, "error"), (5, -1, "hang"))
+        assert plan.kind_for(0, 0) == "crash"
+        assert plan.kind_for(0, 1) is None
+        assert plan.kind_for(2, 1) == "error"
+        assert plan.kind_for(5, 0) == "hang"
+        assert plan.kind_for(5, 7) == "hang"  # attempt=-1 fires every attempt
+        assert plan.kind_for(1, 0) is None
+
+    def test_plan_captures_parent_pid(self):
+        assert FaultPlan.build((0, 0, "crash")).parent_pid == os.getpid()
+
+    def test_plan_round_trips_through_pickle(self):
+        plan = FaultPlan.build((0, 0, "exit137"), (1, 2, "corrupt"), hang_seconds=9.0)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.kind_for(1, 2) == "corrupt"
+
+
+class TestFaultedCall:
+    def test_unscheduled_coordinates_run_the_worker(self):
+        plan = FaultPlan.build((3, 0, "error"))
+        assert faulted_call(_double, 21, 0, 0, plan) == 42
+
+    def test_error_fault_raises_injected_fault(self):
+        plan = FaultPlan.build((1, 0, "error"))
+        with pytest.raises(InjectedFault, match="task 1 attempt 0"):
+            faulted_call(_double, 21, 1, 0, plan)
+
+    def test_error_fault_fires_on_every_backend(self):
+        # Soft faults ignore the pid gate: this call runs in the parent.
+        plan = FaultPlan.build((0, -1, "error"))
+        with pytest.raises(InjectedFault):
+            faulted_call(_double, 21, 0, 5, plan)
+
+    def test_corrupt_fault_wraps_the_real_result(self):
+        plan = FaultPlan.build((0, 0, "corrupt"))
+        result = faulted_call(_double, 21, 0, 0, plan)
+        assert isinstance(result, Corrupted)
+        assert result.payload == 42
+
+    @pytest.mark.parametrize("kind", ["crash", "exit137", "hang"])
+    def test_hard_faults_are_gated_off_in_the_parent_process(self, kind):
+        # The plan was built in this process, so parent_pid matches and the
+        # worker-killing fault must NOT fire — this test surviving is the
+        # assertion.  The degradation ladder relies on exactly this.
+        plan = FaultPlan.build((0, -1, kind), hang_seconds=60.0)
+        assert faulted_call(_double, 21, 0, 0, plan) == 42

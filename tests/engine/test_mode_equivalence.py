@@ -21,6 +21,8 @@ import pytest
 
 from repro.datasets import generate_rt_dataset
 from repro.engine import (
+    ExecutionPolicy,
+    FaultPlan,
     ParameterSweep,
     VaryingParameterExperiment,
     WorkerPool,
@@ -128,6 +130,104 @@ def test_process_mode_unlinks_segments(dataset):
         experiment.run(transaction_config("coat", k=3, m=2), SWEEP)
         segments = pool.segment_names()
         assert segments
+    for name in segments:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+# ---------------------------------------------------------------------------
+# Chaos equivalence: the strongest form of the cross-mode guarantee.  A sweep
+# whose workers crash, hang, or break the whole executor mid-run must still
+# produce results byte-identical to an undisturbed sequential run — fault
+# tolerance may cost wall-clock time, never correctness — and must not leak a
+# single shared-memory segment.
+
+#: Eight sweep points so faults can land mid-run, not just at the edges.
+CHAOS_SWEEP = ParameterSweep("k", (3, 4, 5, 6, 7, 8, 9, 10))
+
+CHAOS_PLANS = [
+    pytest.param(
+        FaultPlan.build((1, 0, "crash")), None, id="worker-crash-first-attempt"
+    ),
+    pytest.param(
+        FaultPlan.build((3, 0, "hang"), hang_seconds=30.0),
+        15.0,
+        id="hang-reclaimed-by-task-timeout",
+    ),
+    pytest.param(
+        FaultPlan.build((5, 0, "exit137")), None, id="sigkill-breaks-pool-mid-sweep"
+    ),
+]
+
+
+def chaos_policy(plan: FaultPlan, task_timeout: float | None) -> ExecutionPolicy:
+    return ExecutionPolicy(
+        backoff_base=0.0, fault_plan=plan, task_timeout=task_timeout
+    )
+
+
+@pytest.mark.parametrize("plan, task_timeout", CHAOS_PLANS)
+def test_faulted_sweep_is_byte_identical_to_sequential(dataset, plan, task_timeout):
+    config = transaction_config("coat", k=3, m=2)
+    reference = fingerprint(
+        VaryingParameterExperiment(dataset, mode="sequential").run(
+            config, CHAOS_SWEEP
+        )
+    )
+    with WorkerPool(max_workers=2) as pool:
+        experiment = VaryingParameterExperiment(
+            dataset,
+            mode="process",
+            pool=pool,
+            policy=chaos_policy(plan, task_timeout),
+        )
+        faulted = experiment.run(config, CHAOS_SWEEP)
+        segments = pool.segment_names()
+
+    assert fingerprint(faulted) == reference
+
+    # The RunReport accounts for the recovery, not just the happy ending.
+    report = faulted.run_report
+    assert report is not None
+    assert len(report.tasks) == len(CHAOS_SWEEP)
+    assert all(task.completed for task in report.tasks)
+    assert report.respawns >= 1
+    assert report.total_retries + sum(t.replays for t in report.tasks) >= 1
+
+    # No segment survives the pool.
+    for name in segments:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_chaos_storm_pcta_sweep_survives_multiple_faults(dataset):
+    """Several distinct faults in one eight-task PCTA sweep: a crash, a
+    hang, and a SIGKILL, all recovered within one run."""
+    plan = FaultPlan.build(
+        (0, 0, "crash"),
+        (2, 0, "hang"),
+        (6, 0, "exit137"),
+        hang_seconds=30.0,
+    )
+    config = transaction_config("pcta", k=3, m=2)
+    reference = fingerprint(
+        VaryingParameterExperiment(dataset, mode="sequential").run(
+            config, CHAOS_SWEEP
+        )
+    )
+    with WorkerPool(max_workers=2) as pool:
+        experiment = VaryingParameterExperiment(
+            dataset, mode="process", pool=pool, policy=chaos_policy(plan, 15.0)
+        )
+        faulted = experiment.run(config, CHAOS_SWEEP)
+        segments = pool.segment_names()
+
+    assert fingerprint(faulted) == reference
+    report = faulted.run_report
+    assert report is not None
+    assert all(task.completed for task in report.tasks)
+    assert report.respawns >= 2  # at least the crash and the SIGKILL
+    assert report.faulted_tasks  # the charged tasks are identifiable
     for name in segments:
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)

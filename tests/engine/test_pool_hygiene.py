@@ -1,0 +1,126 @@
+"""Segment hygiene of the persistent :class:`WorkerPool`.
+
+PR 7 closed the pool's one resource leak: ``share()`` used to hold a strong
+reference to every dataset it exported, pinning both the dataset and its
+shared-memory segment for the pool's whole lifetime.  The pool now holds
+datasets weakly with a ``weakref.finalize`` eviction hook — dropping the
+last outside reference unlinks the segment immediately — and ``respawn``
+re-exports segments a dying worker generation destroyed.
+"""
+
+from __future__ import annotations
+
+import gc
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.columnar.shared import SharedDatasetManifest
+from repro.datasets import generate_rt_dataset
+from repro.engine import WorkerPool
+
+
+def make_dataset(seed: int = 11):
+    return generate_rt_dataset(n_records=30, n_items=8, seed=seed)
+
+
+def segment_is_gone(name: str) -> bool:
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    segment.close()
+    return False
+
+
+class TestWeakExports:
+    def test_dropping_the_dataset_evicts_the_export(self):
+        with WorkerPool(max_workers=1) as pool:
+            dataset = make_dataset()
+            manifest = pool.share(dataset)
+            name = manifest.segment
+            assert pool.segment_names() == [name]
+
+            del dataset, manifest
+            gc.collect()
+
+            assert pool.segment_names() == []
+            assert segment_is_gone(name)
+
+    def test_live_dataset_export_is_reused_not_duplicated(self):
+        with WorkerPool(max_workers=1) as pool:
+            dataset = make_dataset()
+            first = pool.share(dataset)
+            second = pool.share(dataset)
+            assert first.segment == second.segment
+            assert len(pool.segment_names()) == 1
+
+    def test_many_transient_datasets_do_not_accumulate_segments(self):
+        # The regression this satellite fixes: a sweep over fresh datasets
+        # used to pin one segment per dataset until pool.close().
+        with WorkerPool(max_workers=1) as pool:
+            names = []
+            for seed in range(5):
+                dataset = make_dataset(seed)
+                names.append(pool.share(dataset).segment)
+                del dataset
+            gc.collect()
+            assert pool.segment_names() == []
+        assert all(segment_is_gone(name) for name in names)
+
+    def test_close_still_unlinks_exports_held_by_live_datasets(self):
+        dataset = make_dataset()
+        with WorkerPool(max_workers=1) as pool:
+            name = pool.share(dataset).segment
+        assert segment_is_gone(name)
+        # The dataset outliving the pool must not resurrect the finalizer.
+        del dataset
+        gc.collect()
+
+    def test_mutated_dataset_is_re_exported_and_stale_segment_unlinked(self):
+        with WorkerPool(max_workers=1) as pool:
+            dataset = make_dataset()
+            stale = pool.share(dataset).segment
+            dataset.set_value(0, "Age", 99)
+            fresh = pool.share(dataset).segment
+            assert fresh != stale
+            assert segment_is_gone(stale)
+            assert pool.segment_names() == [fresh]
+
+
+class TestRespawnRefresh:
+    def test_respawn_without_stale_segments_returns_no_remapper(self):
+        with WorkerPool(max_workers=1) as pool:
+            dataset = make_dataset()
+            pool.share(dataset)
+            assert pool.respawn("test") is None
+            assert len(pool.segment_names()) == 1
+
+    def test_respawn_re_exports_a_destroyed_segment_and_remaps_tasks(self):
+        with WorkerPool(max_workers=1) as pool:
+            dataset = make_dataset()
+            manifest = pool.share(dataset)
+            stale_name = manifest.segment
+
+            # Simulate a crashed worker generation's resource tracker
+            # destroying the segment out from under the pool.
+            victim = shared_memory.SharedMemory(name=stale_name)
+            victim.close()
+            victim.unlink()
+
+            remapper = pool.respawn("worker crash during test")
+            assert remapper is not None
+
+            remapped = remapper(("job", manifest, 3))
+            assert remapped[0] == "job" and remapped[2] == 3
+            fresh = remapped[1]
+            assert isinstance(fresh, SharedDatasetManifest)
+            assert fresh.segment != stale_name
+            assert not segment_is_gone(fresh.segment)
+            # Unrelated payloads pass through untouched.
+            assert remapper(("no", "manifest", "here")) == ("no", "manifest", "here")
+            assert pool.segment_names() == [fresh.segment]
+
+    def test_startup_reap_attribute_exists(self):
+        with WorkerPool(max_workers=1) as pool:
+            assert isinstance(pool.reaped_at_startup, tuple)

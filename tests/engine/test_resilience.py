@@ -1,0 +1,321 @@
+"""Unit tests for the fault-tolerant execution engine (`repro.engine.resilience`).
+
+Covers policy validation, deterministic backoff, the outcome classification
+(ok / error / timeout / crash / corrupt), recovery from worker crashes,
+hangs and SIGKILL (exit 137), the ``process → thread → sequential``
+degradation ladder, task-identity preservation in :class:`TaskError`, and
+the :class:`RunReport` account the engine keeps of every attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.engine.faults import FaultPlan
+from repro.engine.pool import WorkerPool
+from repro.engine.resilience import (
+    DEFAULT_POLICY,
+    ExecutionPolicy,
+    RunReport,
+    execute_tasks,
+)
+from repro.engine.runner import run_many
+from repro.exceptions import ConfigurationError, TaskError
+
+#: A fast policy for tests: no real sleeping between retries.
+FAST = dict(backoff_base=0.0)
+
+
+# Module-level workers: process mode must be able to pickle them.
+def _triple(value: int) -> int:
+    return value * 3
+
+
+def _pid_of(value: int) -> int:
+    return os.getpid()
+
+
+class TestExecutionPolicyValidation:
+    def test_defaults_are_valid(self):
+        assert DEFAULT_POLICY.max_attempts == 3
+        assert DEFAULT_POLICY.ladder == ("process", "thread", "sequential")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"task_timeout": 0},
+            {"task_timeout": -1.0},
+            {"degrade_after": 0},
+            {"backoff_factor": 0.5},
+            {"backoff_jitter": 1.5},
+            {"ladder": ()},
+            {"ladder": ("process", "gpu")},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(**kwargs)
+
+    def test_rungs_from_starts_at_backend_and_descends(self):
+        policy = ExecutionPolicy()
+        assert policy.rungs_from("process") == ("process", "thread", "sequential")
+        assert policy.rungs_from("thread") == ("thread", "sequential")
+        assert policy.rungs_from("sequential") == ("sequential",)
+
+    def test_rungs_from_respects_a_shortened_ladder(self):
+        policy = ExecutionPolicy(ladder=("process", "sequential"))
+        assert policy.rungs_from("process") == ("process", "sequential")
+
+    def test_rungs_from_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            ExecutionPolicy().rungs_from("gpu")
+
+
+class TestBackoff:
+    def test_backoff_is_deterministic_per_seed(self):
+        policy = ExecutionPolicy(seed=7)
+        delays = [policy.backoff_delay(3, attempt) for attempt in range(4)]
+        assert delays == [policy.backoff_delay(3, attempt) for attempt in range(4)]
+
+    def test_backoff_grows_and_respects_cap(self):
+        policy = ExecutionPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3, backoff_jitter=0.0
+        )
+        assert policy.backoff_delay(0, 0) == pytest.approx(0.1)
+        assert policy.backoff_delay(0, 1) == pytest.approx(0.2)
+        assert policy.backoff_delay(0, 5) == pytest.approx(0.3)  # capped
+
+    def test_jitter_desynchronises_tasks_without_randomness(self):
+        policy = ExecutionPolicy(backoff_base=1.0, backoff_jitter=0.5)
+        delays = {policy.backoff_delay(task, 0) for task in range(8)}
+        assert len(delays) > 1  # different tasks, different delays
+        assert all(0.5 <= delay <= 1.0 for delay in delays)
+
+    def test_seed_changes_the_schedule(self):
+        base = ExecutionPolicy(backoff_base=1.0, seed=0).backoff_delay(1, 1)
+        other = ExecutionPolicy(backoff_base=1.0, seed=1).backoff_delay(1, 1)
+        assert base != other
+
+
+class TestSequentialBackend:
+    def test_plain_run_reports_every_task_ok(self):
+        report = RunReport()
+        results = execute_tasks(
+            [1, 2, 3], _triple, ExecutionPolicy(**FAST), report=report
+        )
+        assert results == [3, 6, 9]
+        assert report.backend == "sequential"
+        assert report.total_attempts == 3
+        assert report.total_retries == 0
+        assert all(task.completed for task in report.tasks)
+        assert report.faulted_tasks == []
+
+    def test_error_fault_is_retried_when_policy_allows(self):
+        plan = FaultPlan.build((1, 0, "error"))
+        report = RunReport()
+        results = execute_tasks(
+            [1, 2, 3],
+            _triple,
+            ExecutionPolicy(retry_errors=True, fault_plan=plan, **FAST),
+            report=report,
+        )
+        assert results == [3, 6, 9]
+        assert report.task(1).outcomes == ["error", "ok"]
+        assert report.task(1).retries == 1
+
+    def test_error_fails_fast_by_default_with_task_identity(self):
+        plan = FaultPlan.build((2, -1, "error"))
+        with pytest.raises(TaskError) as excinfo:
+            execute_tasks([1, 2, 3], _triple, ExecutionPolicy(fault_plan=plan, **FAST))
+        assert excinfo.value.task_index == 2
+        assert excinfo.value.attempts == 1
+        assert excinfo.value.backend == "sequential"
+
+    def test_persistent_error_exhausts_the_attempt_budget(self):
+        plan = FaultPlan.build((0, -1, "error"))
+        policy = ExecutionPolicy(
+            retry_errors=True, max_attempts=3, fault_plan=plan, **FAST
+        )
+        with pytest.raises(TaskError, match="attempt budget exhausted") as excinfo:
+            execute_tasks([5], _triple, policy)
+        assert excinfo.value.attempts == 3
+
+    def test_corrupt_results_are_retried_and_laundered(self):
+        plan = FaultPlan.build((0, 0, "corrupt"))
+        report = RunReport()
+        results = execute_tasks(
+            [7], _triple, ExecutionPolicy(fault_plan=plan, **FAST), report=report
+        )
+        assert results == [21]  # never a Corrupted wrapper
+        assert report.task(0).outcomes == ["corrupt", "ok"]
+
+    def test_validate_result_rejection_counts_as_corrupt(self):
+        policy = ExecutionPolicy(
+            max_attempts=2, validate_result=lambda value: value > 100, **FAST
+        )
+        with pytest.raises(TaskError, match="corrupt"):
+            execute_tasks([1], _triple, policy)
+
+
+class TestThreadBackend:
+    def test_thread_backend_runs_and_reports(self):
+        report = RunReport()
+        results = execute_tasks(
+            [1, 2, 3, 4],
+            _triple,
+            ExecutionPolicy(**FAST),
+            backend="thread",
+            max_workers=2,
+            report=report,
+        )
+        assert results == [3, 6, 9, 12]
+        assert report.backend == "thread"
+        assert {t.final_backend for t in report.tasks} == {"thread"}
+
+    def test_thread_timeout_degrades_to_sequential(self):
+        # The injected hang fires in *worker threads* too?  No — hang is a
+        # hard fault, gated by pid, and threads share the parent pid, so a
+        # plan cannot hang a thread.  Use a genuinely slow worker instead.
+        report = RunReport()
+        policy = ExecutionPolicy(task_timeout=0.2, degrade_after=1, **FAST)
+        results = execute_tasks(
+            [0.6, 0.0],
+            _sleep_then_echo,
+            policy,
+            backend="thread",
+            max_workers=2,
+            report=report,
+        )
+        assert results == [0.6, 0.0]
+        slow = report.task(0)
+        assert "timeout" in slow.outcomes
+        assert slow.final_backend == "sequential"
+        assert report.degradations >= 1
+
+    def test_process_backend_without_control_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="process_control"):
+            execute_tasks([1], _triple, ExecutionPolicy(**FAST), backend="process")
+
+
+def _sleep_then_echo(value: float) -> float:
+    time.sleep(value)
+    return value
+
+
+class TestProcessRecovery:
+    def test_crash_once_recovers_and_replays_only_unfinished(self):
+        plan = FaultPlan.build((2, 0, "crash"))
+        report = RunReport()
+        with WorkerPool(max_workers=2) as pool:
+            results = pool.map(
+                _triple,
+                [0, 1, 2, 3, 4],
+                policy=ExecutionPolicy(fault_plan=plan, **FAST),
+                report=report,
+            )
+        assert results == [0, 3, 6, 9, 12]
+        assert report.respawns >= 1
+        assert report.total_retries >= 1
+        assert all(task.completed for task in report.tasks)
+
+    def test_sigkill_exit137_recovers(self):
+        plan = FaultPlan.build((1, 0, "exit137"))
+        report = RunReport()
+        with WorkerPool(max_workers=2) as pool:
+            results = pool.map(
+                _triple,
+                [0, 1, 2, 3],
+                policy=ExecutionPolicy(fault_plan=plan, **FAST),
+                report=report,
+            )
+        assert results == [0, 3, 6, 9]
+        assert report.respawns >= 1
+
+    def test_hang_is_reclaimed_by_task_timeout(self):
+        plan = FaultPlan.build((1, 0, "hang"), hang_seconds=30.0)
+        report = RunReport()
+        started = time.perf_counter()
+        with WorkerPool(max_workers=2) as pool:
+            results = pool.map(
+                _triple,
+                [0, 1, 2, 3],
+                policy=ExecutionPolicy(task_timeout=2.0, fault_plan=plan, **FAST),
+                report=report,
+            )
+        elapsed = time.perf_counter() - started
+        assert results == [0, 3, 6, 9]
+        assert elapsed < 20.0  # nowhere near the 30s hang
+        assert "timeout" in report.task(1).outcomes
+
+    def test_persistent_worker_killer_degrades_down_the_ladder(self):
+        # Task 0 kills its worker process on *every* attempt; the ladder
+        # must carry it to an in-parent backend where the fault cannot fire.
+        plan = FaultPlan.build((0, -1, "exit137"))
+        report = RunReport()
+        policy = ExecutionPolicy(degrade_after=1, fault_plan=plan, **FAST)
+        with WorkerPool(max_workers=2) as pool:
+            results = pool.map(_triple, [0, 1, 2], policy=policy, report=report)
+        assert results == [0, 3, 6]
+        assert report.degradations >= 1
+        assert report.task(0).final_backend in ("thread", "sequential")
+        assert "crash" in report.task(0).outcomes
+
+    def test_worker_error_carries_task_identity_from_process_mode(self):
+        plan = FaultPlan.build((1, 0, "error"))
+        with WorkerPool(max_workers=2) as pool:
+            with pytest.raises(TaskError) as excinfo:
+                pool.map(
+                    _triple,
+                    [0, 1, 2],
+                    policy=ExecutionPolicy(fault_plan=plan, **FAST),
+                )
+        assert excinfo.value.task_index == 1
+        assert excinfo.value.backend == "process"
+
+    def test_pool_default_policy_applies_when_map_gets_none(self):
+        plan = FaultPlan.build((0, 0, "crash"))
+        policy = ExecutionPolicy(fault_plan=plan, **FAST)
+        report = RunReport()
+        with WorkerPool(max_workers=2, policy=policy) as pool:
+            assert pool.policy is policy
+            assert pool.map(_triple, [1, 2], report=report) == [3, 6]
+        assert report.respawns >= 1
+
+
+class TestRunManyIntegration:
+    def test_sequential_fast_path_still_bypasses_the_engine(self):
+        # No policy, no report: the legacy in-process shortcut.
+        assert run_many([1, 2], _triple, mode="sequential") == [3, 6]
+
+    def test_report_alone_opts_into_the_resilient_path(self):
+        report = RunReport()
+        assert run_many([1, 2], _triple, mode="sequential", report=report) == [3, 6]
+        assert report.total_attempts == 2
+
+    def test_thread_mode_with_policy_routes_through_engine(self):
+        plan = FaultPlan.build((0, 0, "error"))
+        report = RunReport()
+        results = run_many(
+            [1, 2, 3],
+            _triple,
+            mode="thread",
+            policy=ExecutionPolicy(retry_errors=True, fault_plan=plan, **FAST),
+            report=report,
+        )
+        assert results == [3, 6, 9]
+        assert report.backend == "thread"
+        assert report.task(0).retries == 1
+
+    def test_run_report_summary_shape(self):
+        report = RunReport()
+        run_many([1], _triple, mode="sequential", report=report)
+        summary = report.summary()
+        assert summary["tasks"] == 1
+        assert summary["total_attempts"] == 1
+        assert summary["respawns"] == 0
+        assert summary["final_backends"] == ["sequential"]
+        assert summary["wall_seconds"] >= 0.0

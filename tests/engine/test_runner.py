@@ -16,7 +16,7 @@ import pytest
 
 from repro.engine.pool import WorkerPool, validate_max_workers
 from repro.engine.runner import EXECUTION_MODES, resolve_mode, run_many
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, TaskError
 
 
 # Module-level workers: process mode must be able to pickle them.
@@ -117,11 +117,18 @@ class TestRunMany:
         with pytest.raises(ConfigurationError, match="could not pickle a task"):
             run_many(tasks, _square, mode="process")
 
-    def test_worker_type_error_passes_through(self):
+    def test_worker_type_error_surfaces_with_task_identity(self):
         # A genuine TypeError raised *by the worker* must not be mislabelled
-        # as a pickling problem.
-        with pytest.raises(TypeError, match="boom-from-the-worker"):
+        # as a pickling problem: it surfaces as a TaskError naming the failed
+        # task, with the original TypeError chained as __cause__.
+        with pytest.raises(TaskError, match="task 0") as excinfo:
             run_many([1, 2], _raise_type_error, mode="process")
+        error = excinfo.value
+        assert error.task_index == 0
+        assert error.attempts == 1
+        assert error.backend == "process"
+        assert isinstance(error.__cause__, TypeError)
+        assert "boom-from-the-worker" in str(error.__cause__)
 
     def test_explicit_pool_is_used_and_survives(self):
         with WorkerPool(max_workers=1) as pool:
