@@ -83,6 +83,11 @@ class InvariantManifest:
     retry_scope: tuple[str, ...] = ()
     resubmit_calls: tuple[str, ...] = ()
     sleep_helpers: tuple[str, ...] = ()
+    #: REP008: path prefixes the durability discipline applies to, plus the
+    #: ``path::qualname`` helpers sanctioned to perform raw writes (the
+    #: atomic write-temp-fsync-rename implementation itself).
+    durability_scope: tuple[str, ...] = ()
+    atomic_helpers: tuple[str, ...] = ()
 
     @classmethod
     def load(cls, path: Path | str | None = None) -> "InvariantManifest":
@@ -159,4 +164,6 @@ class InvariantManifest:
             retry_scope=strings("rep007", "scope"),
             resubmit_calls=strings("rep007", "resubmit_calls"),
             sleep_helpers=strings("rep007", "sleep_helpers"),
+            durability_scope=strings("rep008", "scope"),
+            atomic_helpers=strings("rep008", "atomic_helpers"),
         )

@@ -16,4 +16,5 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     rep005_exceptions,
     rep006_process_safety,
     rep007_retry_discipline,
+    rep008_durability,
 )

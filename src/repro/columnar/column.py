@@ -70,7 +70,11 @@ class TransactionColumn:
         chunks: list[list[int]] = []
         offset = 0
         for position, itemset in enumerate(itemsets):
-            row = [lookup(item) for item in itemset]
+            # Sorted within the row: frozenset iteration order follows the
+            # per-process hash seed, and any float reduction in occurrence
+            # order (e.g. the UL charge sum) would differ by ulps between
+            # interpreters — breaking byte-identical checkpoint resume.
+            row = sorted(lookup(item) for item in itemset)
             offset += len(row)
             indptr[position + 1] = offset
             chunks.append(row)

@@ -127,15 +127,17 @@ def _exact_cell_codes(dataset: "Dataset", attribute: str) -> tuple[np.ndarray, t
     The categorical ``codes`` use dictionary-key equality, under which ``25``
     and ``25.0`` share a code — so ``values[code]`` cannot reconstruct the
     original cells exactly (their ``str()`` forms, hence ``string_codes()``,
-    differ).  Keying on ``(type name, value)`` keeps equal-but-distinct cells
-    apart while preserving the dict behaviour for everything else.
+    differ).  Keying on ``(type name, repr)`` keeps equal-but-distinct cells
+    apart — including ``-0.0`` versus ``0.0``, which compare and hash equal
+    as floats yet stringify differently — while preserving the dict
+    behaviour for everything else.
     """
     index: dict = {}
     values: list = []
     codes = np.empty(len(dataset), dtype=np.int32)
     for position, record in enumerate(dataset.records):
         value = record[attribute]
-        key = (type(value).__name__, value)
+        key = (type(value).__name__, repr(value))
         code = index.get(key)
         if code is None:
             code = len(values)

@@ -3,6 +3,12 @@
 from __future__ import annotations
 
 from repro.engine.anonymizer import AnonymizationModule
+from repro.engine.checkpoint import (
+    CheckpointOutcome,
+    CheckpointStore,
+    atomic_write_bytes,
+    stable_digest,
+)
 from repro.engine.comparator import MethodComparator
 from repro.engine.config import (
     SWEEPABLE_PARAMETERS,
@@ -18,7 +24,7 @@ from repro.engine.experiment import (
     VaryingParameterExperiment,
     indicator_series,
 )
-from repro.engine.faults import Fault, FaultPlan
+from repro.engine.faults import CheckpointFaults, Fault, FaultPlan
 from repro.engine.pool import WorkerPool, fan_out_shared
 from repro.engine.resilience import (
     DEFAULT_POLICY,
@@ -70,4 +76,9 @@ __all__ = [
     "execute_tasks",
     "Fault",
     "FaultPlan",
+    "CheckpointFaults",
+    "CheckpointOutcome",
+    "CheckpointStore",
+    "atomic_write_bytes",
+    "stable_digest",
 ]

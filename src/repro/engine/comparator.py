@@ -22,6 +22,7 @@ from typing import Iterable, Sequence
 from repro.columnar.shared import resolve_shared_dataset
 from repro.datasets.dataset import Dataset
 from repro.datasets.domains import DatasetDomains
+from repro.engine.checkpoint import CheckpointStore, configuration_keys
 from repro.engine.config import AnonymizationConfig
 from repro.engine.experiment import ParameterSweep, VaryingParameterExperiment
 from repro.engine.pool import WorkerPool, fan_out_shared
@@ -37,13 +38,17 @@ def _run_configuration(task: tuple) -> SweepResult:
 
     The dataset slot holds either the dataset itself or a shared-memory
     manifest (process mode) that the worker attaches without copying arrays.
+    The checkpoint slot carries the (picklable) store into the worker, so a
+    comparison checkpoints at both granularities: whole-configuration cells
+    out here, per-sweep-point cells inside the worker's own experiment.
     """
-    dataset, resources, verify_privacy, universe_mode, config, sweep = task
+    dataset, resources, verify_privacy, universe_mode, config, sweep, checkpoint = task
     experiment = VaryingParameterExperiment(
         resolve_shared_dataset(dataset),
         resources,
         verify_privacy=verify_privacy,
         universe_mode=universe_mode,
+        checkpoint=checkpoint,
     )
     return experiment.run(config, sweep)
 
@@ -62,6 +67,7 @@ class MethodComparator:
         pool: WorkerPool | None = None,
         universe_mode: str = "original",
         policy: ExecutionPolicy | None = None,
+        checkpoint: CheckpointStore | None = None,
     ) -> None:
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
@@ -72,6 +78,7 @@ class MethodComparator:
         self.pool = pool
         self.universe_mode = universe_mode
         self.policy = policy
+        self.checkpoint = checkpoint
 
     def _tasks(
         self,
@@ -80,7 +87,15 @@ class MethodComparator:
         sweep: ParameterSweep,
     ) -> list[tuple]:
         return [
-            (payload, self.resources, self.verify_privacy, self.universe_mode, config, sweep)
+            (
+                payload,
+                self.resources,
+                self.verify_privacy,
+                self.universe_mode,
+                config,
+                sweep,
+                self.checkpoint,
+            )
             for config in configurations
         ]
 
@@ -99,6 +114,21 @@ class MethodComparator:
             # worker process the comparison fans out to).
             self.resources.domains = DatasetDomains.capture(self.dataset)
         resolved = resolve_mode(self.parallel, self.mode)
+        # Whole-configuration checkpoint keys, derived in the orchestrating
+        # process from the real dataset (workers additionally checkpoint
+        # their per-sweep-point cells — see ``_run_configuration``).
+        keys = (
+            configuration_keys(
+                self.dataset,
+                self.resources,
+                self.verify_privacy,
+                self.universe_mode,
+                configurations,
+                sweep,
+            )
+            if self.checkpoint is not None
+            else None
+        )
         if resolved == "process" and len(configurations) > 1:
             report = RunReport()
             sweeps = fan_out_shared(
@@ -109,9 +139,15 @@ class MethodComparator:
                 max_workers=self.max_workers,
                 policy=self.policy,
                 report=report,
+                checkpoint=self.checkpoint,
+                checkpoint_keys=keys,
             )
         else:
-            report = RunReport() if self.policy is not None else None
+            report = (
+                RunReport()
+                if self.policy is not None or self.checkpoint is not None
+                else None
+            )
             sweeps = run_many(
                 self._tasks(self.dataset, configurations, sweep),
                 _run_configuration,
@@ -119,6 +155,8 @@ class MethodComparator:
                 max_workers=self.max_workers,
                 policy=self.policy,
                 report=report,
+                checkpoint=self.checkpoint,
+                checkpoint_keys=keys,
             )
         return ComparisonReport(
             parameter=sweep.parameter,

@@ -26,6 +26,7 @@ from typing import Any, Sequence
 from repro.columnar.shared import resolve_shared_dataset
 from repro.datasets.dataset import Dataset
 from repro.datasets.domains import DatasetDomains
+from repro.engine.checkpoint import CheckpointStore, sweep_point_keys
 from repro.engine.config import SWEEPABLE_PARAMETERS, AnonymizationConfig
 from repro.engine.evaluator import MethodEvaluator
 from repro.engine.pool import WorkerPool, fan_out_shared
@@ -158,6 +159,7 @@ class VaryingParameterExperiment:
         pool: WorkerPool | None = None,
         universe_mode: str = "original",
         policy: ExecutionPolicy | None = None,
+        checkpoint: CheckpointStore | None = None,
     ) -> None:
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
@@ -167,6 +169,7 @@ class VaryingParameterExperiment:
         self.pool = pool
         self.universe_mode = universe_mode
         self.policy = policy
+        self.checkpoint = checkpoint
 
     def _tasks(
         self, payload: object, config: AnonymizationConfig, sweep: ParameterSweep
@@ -190,6 +193,22 @@ class VaryingParameterExperiment:
             # sweep point (and worker process) shares one equal snapshot.
             self.resources.domains = DatasetDomains.capture(self.dataset)
         resolved = resolve_mode(mode=self.mode)
+        # Checkpoint keys are derived here, in the orchestrating process and
+        # *after* the domain snapshot above, from the real dataset — so a
+        # resumed run (which captures the identical snapshot) computes the
+        # identical keys regardless of execution mode.
+        keys = (
+            sweep_point_keys(
+                self.dataset,
+                self.resources,
+                self.verify_privacy,
+                self.universe_mode,
+                config,
+                sweep,
+            )
+            if self.checkpoint is not None
+            else None
+        )
         if resolved == "process" and len(sweep) > 1:
             report = RunReport()
             reports = fan_out_shared(
@@ -200,9 +219,15 @@ class VaryingParameterExperiment:
                 max_workers=self.max_workers,
                 policy=self.policy,
                 report=report,
+                checkpoint=self.checkpoint,
+                checkpoint_keys=keys,
             )
         else:
-            report = RunReport() if self.policy is not None else None
+            report = (
+                RunReport()
+                if self.policy is not None or self.checkpoint is not None
+                else None
+            )
             reports = run_many(
                 self._tasks(self.dataset, config, sweep),
                 _evaluate_sweep_point,
@@ -210,6 +235,8 @@ class VaryingParameterExperiment:
                 max_workers=self.max_workers,
                 policy=self.policy,
                 report=report,
+                checkpoint=self.checkpoint,
+                checkpoint_keys=keys,
             )
         series = indicator_series(
             reports, list(sweep.values), sweep.parameter, config.display_label

@@ -113,6 +113,49 @@ class FaultPlan:
         return None
 
 
+@dataclass(frozen=True)
+class CheckpointFaults:
+    """Deterministic fault points for the durable checkpoint store.
+
+    Where :class:`FaultPlan` breaks *workers*, this breaks the *store*: the
+    chaos suite uses it to prove that a sweep killed immediately after its
+    N-th persisted cell resumes correctly, and that a torn (truncated)
+    record is detected and recomputed rather than served.
+
+    ``kill_after_store=n`` kills the process (SIGKILL semantics, skipping
+    all finalizers) right after the n-th successful cell write of this store
+    instance.  Unlike :class:`FaultPlan` hard faults it fires in *any*
+    process, including the orchestrator — sequential-mode chaos tests run
+    the sweep in a sacrificial subprocess for exactly this reason.
+
+    ``truncate_after_store=n`` truncates the n-th written cell file to
+    ``truncate_to`` bytes right after its atomic rename — a torn write as an
+    on-disk fact, without racing a real crash.  Counts start at 1 and are
+    per store instance (per process: a store that crosses a process
+    boundary re-counts from zero, which keeps worker-side chaos runs
+    deterministic per worker).
+    """
+
+    kill_after_store: int | None = None
+    truncate_after_store: int | None = None
+    truncate_to: int = 7
+
+    def __post_init__(self) -> None:
+        for name in ("kill_after_store", "truncate_after_store"):
+            count = getattr(self, name)
+            if count is not None and count < 1:
+                raise ConfigurationError(f"{name} must be >= 1 when set")
+        if self.truncate_to < 0:
+            raise ConfigurationError("truncate_to must be >= 0")
+
+    def after_store(self, count: int, path: "os.PathLike[str] | str") -> None:
+        """The store calls this after its ``count``-th successful write."""
+        if self.truncate_after_store == count:
+            os.truncate(path, self.truncate_to)
+        if self.kill_after_store == count:
+            _die(137)
+
+
 def _die(exit_code: int) -> None:
     """Terminate the current process the way a real fault would: for 137,
     the SIGKILL a cgroup OOM-killer delivers; otherwise a hard ``_exit``

@@ -48,6 +48,7 @@ from repro.exceptions import ConfigurationError, SecretaError
 
 if TYPE_CHECKING:
     from repro.datasets.dataset import Dataset
+    from repro.engine.checkpoint import CheckpointStore
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -342,6 +343,8 @@ def fan_out_shared(
     max_workers: int | None = None,
     policy: ExecutionPolicy | None = None,
     report: RunReport | None = None,
+    checkpoint: "CheckpointStore | None" = None,
+    checkpoint_keys: Sequence[str] | None = None,
 ) -> list[Any]:
     """Run ``worker`` over ``make_tasks(manifest)`` with a shared dataset.
 
@@ -364,6 +367,8 @@ def fan_out_shared(
             pool=pool,
             policy=policy,
             report=report,
+            checkpoint=checkpoint,
+            checkpoint_keys=checkpoint_keys,
         )
     # The ephemeral pool (rather than a bare export) owns the segment so the
     # crash-recovery path can re-export it; its executor is spawned lazily,
@@ -379,4 +384,6 @@ def fan_out_shared(
             pool=ephemeral,
             policy=policy,
             report=report,
+            checkpoint=checkpoint,
+            checkpoint_keys=checkpoint_keys,
         )

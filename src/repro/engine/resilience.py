@@ -36,6 +36,7 @@ way.
 from __future__ import annotations
 
 import hashlib
+import json
 import pickle
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -173,6 +174,27 @@ class TaskAttempt:
     #: ``repr`` of the ``__cause__``/``__context__`` chain, outermost first.
     error_chain: tuple[str, ...] = ()
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "backend": self.backend,
+            "outcome": self.outcome,
+            "duration_seconds": self.duration_seconds,
+            "error": self.error,
+            "error_chain": list(self.error_chain),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TaskAttempt":
+        return cls(
+            attempt=int(data["attempt"]),
+            backend=str(data["backend"]),
+            outcome=str(data["outcome"]),
+            duration_seconds=float(data["duration_seconds"]),
+            error=str(data.get("error", "")),
+            error_chain=tuple(data.get("error_chain", ())),
+        )
+
 
 @dataclass
 class TaskReport:
@@ -185,6 +207,10 @@ class TaskReport:
     replays: int = 0
     final_backend: str = ""
     completed: bool = False
+    #: How the durable checkpoint store saw this task: ``""`` (no store),
+    #: ``"hit"`` (served from disk), ``"miss"`` (computed and persisted) or
+    #: ``"corrupt"`` (a damaged cell was detected and recomputed).
+    checkpoint: str = ""
 
     @property
     def retries(self) -> int:
@@ -193,6 +219,30 @@ class TaskReport:
     @property
     def outcomes(self) -> list[str]:
         return [attempt.outcome for attempt in self.attempts]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+            "replays": self.replays,
+            "final_backend": self.final_backend,
+            "completed": self.completed,
+            "checkpoint": self.checkpoint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TaskReport":
+        return cls(
+            index=int(data["index"]),
+            attempts=[
+                TaskAttempt.from_dict(attempt)
+                for attempt in data.get("attempts", ())
+            ],
+            replays=int(data.get("replays", 0)),
+            final_backend=str(data.get("final_backend", "")),
+            completed=bool(data.get("completed", False)),
+            checkpoint=str(data.get("checkpoint", "")),
+        )
 
 
 @dataclass
@@ -204,6 +254,9 @@ class RunReport:
     respawns: int = 0
     degradations: int = 0
     wall_seconds: float = 0.0
+    #: Structured warnings, e.g. checkpoint cells that were found damaged
+    #: (torn/truncated/bit-rotted) and recomputed instead of served.
+    warnings: list[str] = field(default_factory=list)
 
     def task(self, index: int) -> TaskReport:
         for task in self.tasks:
@@ -228,6 +281,14 @@ class RunReport:
             if task.retries or task.replays or not task.completed
         ]
 
+    def checkpoint_counts(self) -> dict[str, int]:
+        """Checkpoint statuses across tasks: hits, misses, corrupt-recomputes."""
+        counts = {"hit": 0, "miss": 0, "corrupt": 0}
+        for task in self.tasks:
+            if task.checkpoint in counts:
+                counts[task.checkpoint] += 1
+        return counts
+
     def summary(self) -> dict[str, Any]:
         return {
             "tasks": len(self.tasks),
@@ -242,7 +303,38 @@ class RunReport:
                 {task.final_backend for task in self.tasks if task.final_backend}
             ),
             "wall_seconds": self.wall_seconds,
+            "checkpoints": self.checkpoint_counts(),
+            "warnings": len(self.warnings),
         }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tasks": [task.to_dict() for task in self.tasks],
+            "backend": self.backend,
+            "respawns": self.respawns,
+            "degradations": self.degradations,
+            "wall_seconds": self.wall_seconds,
+            "warnings": list(self.warnings),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunReport":
+        return cls(
+            tasks=[TaskReport.from_dict(task) for task in data.get("tasks", ())],
+            backend=str(data.get("backend", "")),
+            respawns=int(data.get("respawns", 0)),
+            degradations=int(data.get("degradations", 0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            warnings=[str(warning) for warning in data.get("warnings", ())],
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialize losslessly; ``from_json`` reconstructs an equal report."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
 
 
 # -- backend controls --------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.engine.resilience import ExecutionPolicy, RunReport, execute_tasks
 from repro.exceptions import ConfigurationError
 
 if TYPE_CHECKING:
+    from repro.engine.checkpoint import CheckpointStore
     from repro.engine.pool import WorkerPool
 
 TaskT = TypeVar("TaskT")
@@ -62,6 +63,8 @@ def run_many(
     pool: "WorkerPool | None" = None,
     policy: "ExecutionPolicy | None" = None,
     report: RunReport | None = None,
+    checkpoint: "CheckpointStore | None" = None,
+    checkpoint_keys: Sequence[str] | None = None,
 ) -> list[ResultT]:
     """Apply ``worker`` to every task, preserving input order.
 
@@ -84,6 +87,12 @@ def run_many(
     plain fast path unless a ``policy`` or ``report`` is passed, in which
     case they route through the same engine — with retries, deterministic
     backoff and the per-task attempt history filled into ``report``.
+
+    ``checkpoint`` threads a durable
+    :class:`~repro.engine.checkpoint.CheckpointStore` through the run: every
+    task needs a content-addressed key in ``checkpoint_keys``, completed
+    tasks are persisted the moment they finish, and a re-run serves stored
+    cells instead of recomputing (see :mod:`repro.engine.checkpoint`).
     """
     from repro.engine.pool import WorkerPool, validate_max_workers
 
@@ -92,6 +101,21 @@ def run_many(
     tasks = list(tasks)
     if not tasks:
         return []
+    if checkpoint is not None:
+        from repro.engine.checkpoint import run_checkpointed
+
+        return run_checkpointed(
+            tasks,
+            worker,
+            checkpoint,
+            checkpoint_keys,
+            parallel=parallel,
+            max_workers=max_workers,
+            mode=mode,
+            pool=pool,
+            policy=policy,
+            report=report,
+        )
     resilient = policy is not None or report is not None
     if not resilient and (resolved == "sequential" or len(tasks) == 1):
         return [worker(task) for task in tasks]

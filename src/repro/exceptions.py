@@ -63,6 +63,17 @@ class TaskError(ExecutionError):
         self.backend = backend
 
 
+class CheckpointError(ExecutionError):
+    """The durable checkpoint store could not be used as configured.
+
+    Raised for *caller* mistakes — malformed keys, key/task count mismatch,
+    unpicklable values, undigestable key material.  Damage to the store
+    itself (torn writes, bit rot, stale formats) deliberately never raises:
+    it degrades to a recompute with a structured warning on the
+    :class:`~repro.engine.resilience.RunReport`.
+    """
+
+
 class AlgorithmError(SecretaError):
     """An anonymization algorithm failed to produce a valid result."""
 

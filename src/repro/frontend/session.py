@@ -24,6 +24,7 @@ from repro.datasets.dataset import Dataset
 from repro.datasets.editor import DatasetEditor
 from repro.datasets.generators import generate_adult_like, generate_market_basket, generate_rt_dataset
 from repro.datasets.statistics import attribute_histogram, dataset_summary
+from repro.engine.checkpoint import CheckpointStore
 from repro.engine.comparator import MethodComparator
 from repro.engine.config import AnonymizationConfig
 from repro.engine.evaluator import MethodEvaluator
@@ -45,12 +46,19 @@ from repro.queries.workload import QueryWorkload
 class Session:
     """One interactive SECRETA session over a single dataset."""
 
-    def __init__(self, dataset: Dataset):
+    def __init__(
+        self,
+        dataset: Dataset,
+        checkpoint_dir: str | Path | None = None,
+    ):
         self.dataset = dataset
         self.dataset_editor = DatasetEditor(dataset)
         self.configuration_editor = ConfigurationEditor(dataset)
         self.queries_editor = QueriesEditor(dataset)
         self._verify_privacy = True
+        self._checkpoint: CheckpointStore | None = (
+            CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+        )
 
     # -- constructors --------------------------------------------------------------
     @classmethod
@@ -81,6 +89,31 @@ class Session:
 
     def histogram_text(self, attribute: str, bins: int = 10, width: int = 40) -> str:
         return render_histogram(self.histogram(attribute, bins=bins), width=width)
+
+    # -- checkpointing ----------------------------------------------------------------
+    @property
+    def checkpoint(self) -> CheckpointStore | None:
+        """The session's durable checkpoint store, if one is configured."""
+        return self._checkpoint
+
+    def with_checkpoints(
+        self, directory: str | Path | CheckpointStore
+    ) -> "Session":
+        """Enable durable checkpointing for this session's sweeps/comparisons.
+
+        Completed (configuration, parameter value) cells are persisted under
+        ``directory`` and a re-run — after a crash, SIGKILL or power loss —
+        recomputes only the missing cells (see ``docs/robustness.md``,
+        "Checkpoint & resume").  Returns ``self`` so it chains::
+
+            session = Session.generate_rt(seed=1).with_checkpoints("ckpt/")
+        """
+        self._checkpoint = (
+            directory
+            if isinstance(directory, CheckpointStore)
+            else CheckpointStore(directory)
+        )
+        return self
 
     # -- resources ----------------------------------------------------------------------
     @property
@@ -179,6 +212,7 @@ class Session:
         pool: WorkerPool | None = None,
         universe_mode: str = "original",
         policy: ExecutionPolicy | None = None,
+        checkpoint: CheckpointStore | None = None,
     ) -> SweepResult:
         """Varying-parameter execution of a single configuration.
 
@@ -202,6 +236,7 @@ class Session:
             pool=pool,
             universe_mode=universe_mode,
             policy=policy,
+            checkpoint=checkpoint or self._checkpoint,
         )
         return experiment.run(config, ParameterSweep.from_range(parameter, start, end, step))
 
@@ -220,6 +255,7 @@ class Session:
         pool: WorkerPool | None = None,
         universe_mode: str = "original",
         policy: ExecutionPolicy | None = None,
+        checkpoint: CheckpointStore | None = None,
     ) -> ComparisonReport:
         """Run several configurations across a sweep and collect their series.
 
@@ -243,6 +279,7 @@ class Session:
             pool=pool,
             universe_mode=universe_mode,
             policy=policy,
+            checkpoint=checkpoint or self._checkpoint,
         )
         return comparator.compare(
             configurations, ParameterSweep.from_range(parameter, start, end, step)

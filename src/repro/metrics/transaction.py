@@ -167,7 +167,9 @@ def utility_loss(
     loss = 0.0
     for original_record, anonymized_record in zip(original, anonymized):
         best_costs = interpreter.best_costs(anonymized_record[attribute])
-        for item in original_record[attribute]:
+        # Sorted: summing in frozenset iteration order would tie the result
+        # to the process hash seed by a few ulps (see checkpoint resume).
+        for item in sorted(original_record[attribute]):
             loss += best_costs.get(item, 1.0)
     return loss / total_items if total_items else 0.0
 

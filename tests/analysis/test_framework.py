@@ -145,6 +145,7 @@ class TestRegistry:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
         }
 
     def test_rule_by_code_is_case_insensitive(self):

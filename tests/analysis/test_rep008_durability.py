@@ -1,0 +1,195 @@
+"""REP008: durability-discipline fixtures."""
+
+from __future__ import annotations
+
+from lint_harness import new_codes
+
+from repro.analysis.core import rule_by_code
+from repro.analysis.manifest import InvariantManifest
+
+MANIFEST = InvariantManifest(
+    durability_scope=("src/pkg/store",),
+    atomic_helpers=("src/pkg/store/io.py::atomic_write_bytes",),
+)
+
+BARE_WRITE_OPEN = """
+    def save(path, blob):
+        with open(path, "wb") as handle:
+            handle.write(blob)
+"""
+
+APPEND_OPEN = """
+    def log(path, line):
+        with open(path, "a") as handle:
+            handle.write(line)
+"""
+
+MODE_KEYWORD = """
+    def save(path, blob):
+        with open(path, mode="w+b") as handle:
+            handle.write(blob)
+"""
+
+DYNAMIC_MODE = """
+    def save(path, blob, mode):
+        with open(path, mode) as handle:
+            handle.write(blob)
+"""
+
+FDOPEN_WRITE = """
+    import os
+
+    def save(fd, blob):
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+"""
+
+PATH_WRITERS = """
+    def save(path, blob, text):
+        path.write_bytes(blob)
+        path.write_text(text)
+"""
+
+READ_ONLY = """
+    def load(path):
+        with open(path, "rb") as handle:
+            first = handle.read()
+        with open(path) as handle:  # default mode is read-only
+            return first, handle.read()
+"""
+
+READ_HELPERS = """
+    def load(path):
+        return path.read_bytes(), path.read_text()
+"""
+
+ATOMIC_HELPER_BODY = """
+    import os
+
+    def atomic_write_bytes(path, blob):
+        fd, temp = make_temp(path)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+"""
+
+
+class TestRep008:
+    def test_bare_write_open_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/store/cells.py",
+            BARE_WRITE_OPEN,
+            manifest=MANIFEST,
+            select=["REP008"],
+        )
+        assert new_codes(findings) == ["REP008"]
+        assert "atomic" in findings[0].message
+
+    def test_append_mode_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/store/cells.py",
+            APPEND_OPEN,
+            manifest=MANIFEST,
+            select=["REP008"],
+        )
+        assert new_codes(findings) == ["REP008"]
+
+    def test_mode_keyword_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/store/cells.py",
+            MODE_KEYWORD,
+            manifest=MANIFEST,
+            select=["REP008"],
+        )
+        assert new_codes(findings) == ["REP008"]
+
+    def test_non_constant_mode_is_flagged(self, harness):
+        """A mode that cannot be proven read-only counts as a write."""
+        findings = harness.findings(
+            "src/pkg/store/cells.py",
+            DYNAMIC_MODE,
+            manifest=MANIFEST,
+            select=["REP008"],
+        )
+        assert new_codes(findings) == ["REP008"]
+
+    def test_fdopen_write_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/store/cells.py",
+            FDOPEN_WRITE,
+            manifest=MANIFEST,
+            select=["REP008"],
+        )
+        assert new_codes(findings) == ["REP008"]
+
+    def test_path_write_helpers_are_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/store/cells.py",
+            PATH_WRITERS,
+            manifest=MANIFEST,
+            select=["REP008"],
+        )
+        assert new_codes(findings) == ["REP008", "REP008"]
+
+    def test_read_only_opens_are_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/store/cells.py",
+                READ_ONLY,
+                manifest=MANIFEST,
+                select=["REP008"],
+            )
+            == []
+        )
+
+    def test_read_helpers_are_clean(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/store/cells.py",
+                READ_HELPERS,
+                manifest=MANIFEST,
+                select=["REP008"],
+            )
+            == []
+        )
+
+    def test_atomic_helper_body_is_exempt(self, harness):
+        assert (
+            harness.findings(
+                "src/pkg/store/io.py",
+                ATOMIC_HELPER_BODY,
+                manifest=MANIFEST,
+                select=["REP008"],
+            )
+            == []
+        )
+
+    def test_out_of_scope_module_is_ignored(self, harness):
+        assert (
+            harness.findings(
+                "tools/scratch.py",
+                BARE_WRITE_OPEN,
+                manifest=MANIFEST,
+                select=["REP008"],
+            )
+            == []
+        )
+
+    def test_inline_allow_with_reason_suppresses(self, harness):
+        source = BARE_WRITE_OPEN.replace(
+            'with open(path, "wb") as handle:',
+            'with open(path, "wb") as handle:  '
+            "# repro: allow[REP008] -- fixture: the torn write is the behaviour under test",
+        )
+        findings = harness.findings(
+            "src/pkg/store/cells.py", source, manifest=MANIFEST, select=["REP008"]
+        )
+        assert new_codes(findings) == []
+
+    def test_explain_text_exists(self):
+        rule = rule_by_code("REP008")
+        assert rule is not None
+        assert rule.name == "durability-discipline"
+        assert "atomic" in rule.explanation

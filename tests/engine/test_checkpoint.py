@@ -1,0 +1,477 @@
+"""Unit tests for the durable checkpoint store.
+
+Layered like the module itself: the CRC32C kernel against published test
+vectors, the frame codec against every damage mode it claims to detect, the
+atomic write helper, the store's hit/miss/corrupt protocol and format-version
+rebuild, the stable digest's canonicalisation guarantees, and finally the
+``run_many`` integration (hits served, misses computed-and-stored, corrupt
+cells recomputed with a structured warning).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import Attribute, Dataset, Schema
+from repro.engine import run_many
+from repro.engine.checkpoint import (
+    FORMAT_VERSION,
+    CheckpointStore,
+    atomic_write_bytes,
+    configuration_keys,
+    crc32c,
+    decode_frame,
+    encode_frame,
+    stable_digest,
+    sweep_point_keys,
+    task_key,
+)
+from repro.engine.config import transaction_config
+from repro.engine.experiment import ParameterSweep
+from repro.engine.resilience import ExecutionPolicy, RunReport
+from repro.engine.resources import ExperimentResources
+from repro.exceptions import CheckpointError
+from repro.hierarchy.builders import build_numeric_hierarchy
+from repro.policies.privacy import PrivacyPolicy
+from repro.policies.utility import UtilityPolicy
+
+
+def make_dataset(rows=None, name="ckpt-test") -> Dataset:
+    schema = Schema(
+        [
+            Attribute.numeric("Age"),
+            Attribute.categorical("City"),
+            Attribute.transaction("Items"),
+        ]
+    )
+    rows = rows if rows is not None else [
+        {"Age": 30 + n, "City": f"c{n % 3}", "Items": {f"i{n % 4}", f"i{(n * 3) % 4}"}}
+        for n in range(12)
+    ]
+    return Dataset(schema, rows, name=name)
+
+
+# ---------------------------------------------------------------------------
+# CRC32C
+
+
+class TestCrc32c:
+    def test_published_check_vector(self):
+        # The canonical CRC32C check value (RFC 3720 appendix / crc catalogs).
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty_input(self):
+        assert crc32c(b"") == 0
+
+    def test_all_zero_block(self):
+        # iSCSI test vector: 32 zero bytes.
+        assert crc32c(bytes(32)) == 0x8A9136AA
+
+    def test_all_ones_block(self):
+        assert crc32c(bytes([0xFF] * 32)) == 0x62A8AB43
+
+    def test_incremental_matches_one_shot(self):
+        data = bytes(range(256)) * 7
+        running = 0
+        for start in range(0, len(data), 100):
+            running = crc32c(data[start : start + 100], running)
+        assert running == crc32c(data)
+
+    def test_single_bit_flip_changes_crc(self):
+        data = os.urandom(1024)
+        reference = crc32c(data)
+        flipped = bytearray(data)
+        flipped[517] ^= 0x40
+        assert crc32c(bytes(flipped)) != reference
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+
+
+class TestFrame:
+    def test_roundtrip(self):
+        payload = b"x" * 1000
+        assert decode_frame(encode_frame(payload)) == payload
+
+    def test_empty_payload_roundtrip(self):
+        assert decode_frame(encode_frame(b"")) == b""
+
+    def test_truncated_header(self):
+        with pytest.raises(CheckpointError, match="truncated"):
+            decode_frame(encode_frame(b"payload")[:7])
+
+    def test_truncated_payload(self):
+        blob = encode_frame(b"a complete payload")
+        with pytest.raises(CheckpointError, match="length mismatch"):
+            decode_frame(blob[:-5])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(CheckpointError, match="length mismatch"):
+            decode_frame(encode_frame(b"payload") + b"extra")
+
+    def test_bad_magic(self):
+        blob = bytearray(encode_frame(b"payload"))
+        blob[0:4] = b"XXXX"
+        with pytest.raises(CheckpointError, match="magic"):
+            decode_frame(bytes(blob))
+
+    def test_stale_format_version(self):
+        header = struct.Struct("<4sIIQ")
+        payload = b"payload"
+        blob = header.pack(b"RPCK", FORMAT_VERSION + 1, crc32c(payload), len(payload))
+        with pytest.raises(CheckpointError, match="version"):
+            decode_frame(blob + payload)
+
+    def test_bit_rot_fails_checksum(self):
+        blob = bytearray(encode_frame(b"some payload bytes"))
+        blob[-3] ^= 0x01
+        with pytest.raises(CheckpointError, match="checksum"):
+            decode_frame(bytes(blob))
+
+
+# ---------------------------------------------------------------------------
+# Atomic writes
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "sub" / "file.bin"
+        atomic_write_bytes(target, b"abc")
+        assert target.read_bytes() == b"abc"
+
+    def test_replaces_existing(self, tmp_path):
+        target = tmp_path / "file.bin"
+        atomic_write_bytes(target, b"old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "file.bin"
+        atomic_write_bytes(target, b"data")
+        assert [path.name for path in tmp_path.iterdir()] == ["file.bin"]
+
+
+# ---------------------------------------------------------------------------
+# The store
+
+
+class TestCheckpointStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        key = task_key("unit", 1)
+        assert store.load(key).status == "miss"
+        store.store(key, {"answer": 42})
+        outcome = store.load(key)
+        assert outcome.status == "hit"
+        assert outcome.value == {"answer": 42}
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError, match="malformed"):
+            store.load("../../etc/passwd")
+        with pytest.raises(CheckpointError, match="malformed"):
+            store.store("", 1)
+
+    def test_truncated_cell_is_corrupt_not_fatal(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = task_key("unit", 2)
+        path = store.store(key, list(range(100)))
+        os.truncate(path, 9)
+        outcome = store.load(key)
+        assert outcome.status == "corrupt"
+        assert key in outcome.detail
+
+    def test_bit_rot_is_corrupt_not_fatal(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = task_key("unit", 3)
+        path = store.store(key, list(range(100)))
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.load(key).status == "corrupt"
+
+    def test_unpicklable_payload_in_cell_is_corrupt(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = task_key("unit", 4)
+        path = store.store(key, "value")
+        # A valid frame around garbage that is not a pickle.
+        atomic_write_bytes(path, encode_frame(b"\x00not a pickle"))
+        assert store.load(key).status == "corrupt"
+
+    def test_unpicklable_value_raises_typed_error(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError, match="not picklable"):
+            store.store(task_key("unit", 5), lambda: None)
+
+    def test_format_mismatch_rebuilds_store(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        store = CheckpointStore(directory)
+        key = task_key("unit", 6)
+        store.store(key, "kept?")
+        # Simulate a store written by an older layout.
+        (directory / "FORMAT").write_bytes(b"RPCK\x63\x00\x00\x00\n")
+        fresh = CheckpointStore(directory)
+        assert fresh.load(key).status == "miss"
+        assert fresh.keys() == []
+        # The header has been rewritten to the current format.
+        assert (directory / "FORMAT").read_bytes().startswith(b"RPCK")
+
+    def test_keys_lists_cells(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        keys = sorted(task_key("unit", n) for n in range(3))
+        for key in keys:
+            store.store(key, key)
+        assert store.keys() == keys
+
+    def test_store_is_picklable(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = task_key("unit", 7)
+        store.store(key, 123)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.load(key).value == 123
+        assert clone.stores == 0  # the write counter does not travel
+
+
+# ---------------------------------------------------------------------------
+# Stable digests
+
+
+class TestStableDigest:
+    def test_type_tags_keep_lookalikes_apart(self):
+        assert stable_digest(25) != stable_digest(25.0)
+        assert stable_digest(25) != stable_digest("25")
+        assert stable_digest(True) != stable_digest(1)
+        assert stable_digest(False) != stable_digest(0)
+        assert stable_digest(None) != stable_digest("")
+
+    def test_signed_zero_floats_differ(self):
+        assert stable_digest(0.0) != stable_digest(-0.0)
+
+    def test_container_structure_matters(self):
+        assert stable_digest([1, 2]) != stable_digest((1, 2))
+        assert stable_digest([1, 2]) != stable_digest([2, 1])
+        assert stable_digest({1, 2}) == stable_digest({2, 1})
+        assert stable_digest(frozenset({"a", "b"})) == stable_digest(
+            frozenset({"b", "a"})
+        )
+
+    def test_dict_order_is_canonical(self):
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+        assert stable_digest({"a": 1}) != stable_digest({"a": 2})
+
+    def test_numpy_values(self):
+        assert stable_digest(np.int64(7)) == stable_digest(7)
+        array = np.arange(6, dtype=np.int32).reshape(2, 3)
+        assert stable_digest(array) == stable_digest(array.copy())
+        assert stable_digest(array) != stable_digest(array.T)
+
+    def test_policies_and_dataclasses(self):
+        policy_a = PrivacyPolicy([frozenset({"i1", "i2"})], k=5)
+        policy_b = PrivacyPolicy([frozenset({"i2", "i1"})], k=5)
+        assert stable_digest(policy_a) == stable_digest(policy_b)
+        assert stable_digest(policy_a) != stable_digest(
+            PrivacyPolicy([frozenset({"i1", "i2"})], k=6)
+        )
+        utility = UtilityPolicy([frozenset({"i1"})])
+        assert stable_digest(utility) == stable_digest(UtilityPolicy([frozenset({"i1"})]))
+
+    def test_hierarchy_digest_tracks_structure(self):
+        small = build_numeric_hierarchy(range(16), fanout=2, attribute="Age")
+        assert stable_digest(small) == stable_digest(
+            build_numeric_hierarchy(range(16), fanout=2, attribute="Age")
+        )
+        assert stable_digest(small) != stable_digest(
+            build_numeric_hierarchy(range(32), fanout=2, attribute="Age")
+        )
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(CheckpointError, match="stable digest"):
+            stable_digest(object())
+
+    def test_hash_seed_independence(self):
+        """The digest of hash-randomised containers must not change with
+        PYTHONHASHSEED — otherwise every interpreter restart would orphan
+        every cell."""
+        script = (
+            "from repro.engine.checkpoint import stable_digest\n"
+            "value = {frozenset({'alpha', 'beta', 'gamma'}): [1, 2.5, {'x', 'y'}],\n"
+            "         frozenset({'delta'}): (None, True, 'z')}\n"
+            "print(stable_digest(value))\n"
+        )
+        digests = set()
+        for seed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(Path(__file__).resolve().parents[2] / "src")]
+                + ([env["PYTHONPATH"]] if "PYTHONPATH" in env else [])
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            digests.add(result.stdout.strip())
+        assert len(digests) == 1
+
+
+# ---------------------------------------------------------------------------
+# Key derivation
+
+
+class TestKeys:
+    def test_sweep_point_keys_one_per_value(self):
+        dataset = make_dataset()
+        sweep = ParameterSweep("k", (2, 3, 4))
+        keys = sweep_point_keys(
+            dataset, ExperimentResources(), False, "original",
+            transaction_config("coat", k=2, m=2), sweep,
+        )
+        assert len(keys) == 3
+        assert len(set(keys)) == 3
+
+    def test_keys_change_with_inputs(self):
+        dataset = make_dataset()
+        sweep = ParameterSweep("k", (2,))
+        config = transaction_config("coat", k=2, m=2)
+        base = sweep_point_keys(
+            dataset, ExperimentResources(), False, "original", config, sweep
+        )
+        # A different dataset, config, or flag changes the key.
+        mutated = make_dataset()
+        mutated.set_value(0, "Age", 99)
+        assert sweep_point_keys(
+            mutated, ExperimentResources(), False, "original", config, sweep
+        ) != base
+        assert sweep_point_keys(
+            dataset, ExperimentResources(), True, "original", config, sweep
+        ) != base
+        assert sweep_point_keys(
+            dataset, ExperimentResources(), False, "original",
+            transaction_config("coat", k=2, m=3), sweep,
+        ) != base
+
+    def test_configuration_keys_cover_each_config(self):
+        dataset = make_dataset()
+        sweep = ParameterSweep("k", (2, 3))
+        configs = [
+            transaction_config("coat", k=2, m=2),
+            transaction_config("pcta", k=2, m=2),
+        ]
+        keys = configuration_keys(
+            dataset, ExperimentResources(), False, "original", configs, sweep
+        )
+        assert len(set(keys)) == 2
+
+
+# ---------------------------------------------------------------------------
+# run_many integration
+
+
+def _double(task: int) -> int:
+    return task * 2
+
+
+class TestRunManyIntegration:
+    def test_miss_compute_store_then_hit(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        keys = [task_key("t", n) for n in range(4)]
+        report = RunReport()
+        first = run_many(
+            [0, 1, 2, 3], _double, checkpoint=store, checkpoint_keys=keys,
+            report=report,
+        )
+        assert first == [0, 2, 4, 6]
+        assert report.checkpoint_counts() == {"hit": 0, "miss": 4, "corrupt": 0}
+        assert len(report.tasks) == 4
+
+        second_report = RunReport()
+        second = run_many(
+            [0, 1, 2, 3], _double, checkpoint=store, checkpoint_keys=keys,
+            report=second_report,
+        )
+        assert second == first
+        assert second_report.checkpoint_counts() == {"hit": 4, "miss": 0, "corrupt": 0}
+        assert all(
+            task.final_backend == "checkpoint" for task in second_report.tasks
+        )
+        assert second_report.warnings == []
+
+    def test_partial_resume(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        keys = [task_key("t", n) for n in range(4)]
+        run_many([0, 1], _double, checkpoint=store, checkpoint_keys=keys[:2])
+        report = RunReport()
+        results = run_many(
+            [0, 1, 2, 3], _double, checkpoint=store, checkpoint_keys=keys,
+            report=report,
+        )
+        assert results == [0, 2, 4, 6]
+        assert report.checkpoint_counts() == {"hit": 2, "miss": 2, "corrupt": 0}
+        # Reports cover every task exactly once, in order.
+        assert [task.index for task in report.tasks] == [0, 1, 2, 3]
+
+    def test_corrupt_cell_recomputed_and_warned(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        keys = [task_key("t", n) for n in range(3)]
+        run_many([0, 1, 2], _double, checkpoint=store, checkpoint_keys=keys)
+        os.truncate(store.cell_path(keys[1]), 5)
+        report = RunReport()
+        results = run_many(
+            [0, 1, 2], _double, checkpoint=store, checkpoint_keys=keys,
+            report=report,
+        )
+        assert results == [0, 2, 4]
+        assert report.checkpoint_counts() == {"hit": 2, "miss": 0, "corrupt": 1}
+        assert len(report.warnings) == 1
+        assert keys[1] in report.warnings[0]
+        assert report.task(1).checkpoint == "corrupt"
+        # The recompute repaired the cell durably.
+        assert store.load(keys[1]).status == "hit"
+
+    def test_validator_rejected_hit_is_recomputed(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = task_key("t", 0)
+        store.store(key, -1)  # a stored value the validator rejects
+        policy = ExecutionPolicy(validate_result=lambda value: value >= 0)
+        report = RunReport()
+        results = run_many(
+            [5], _double, checkpoint=store, checkpoint_keys=[key],
+            policy=policy, report=report,
+        )
+        assert results == [10]
+        assert report.checkpoint_counts()["corrupt"] == 1
+        assert any("validator" in warning for warning in report.warnings)
+        assert store.load(key).value == 10
+
+    def test_missing_keys_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError, match="one checkpoint key per task"):
+            run_many([1, 2], _double, checkpoint=store, checkpoint_keys=None)
+        with pytest.raises(CheckpointError, match="2 task"):
+            run_many(
+                [1, 2], _double, checkpoint=store,
+                checkpoint_keys=[task_key("t", 0)],
+            )
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = task_key("t", 0)
+        with pytest.raises(CheckpointError, match="unique"):
+            run_many([1, 2], _double, checkpoint=store, checkpoint_keys=[key, key])
+
+    def test_no_report_no_policy_still_resumes(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        keys = [task_key("t", n) for n in range(2)]
+        assert run_many([3, 4], _double, checkpoint=store, checkpoint_keys=keys) == [6, 8]
+        assert run_many([3, 4], _double, checkpoint=store, checkpoint_keys=keys) == [6, 8]

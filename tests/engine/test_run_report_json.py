@@ -1,0 +1,130 @@
+"""RunReport JSON round-trips: persist a run's account, get the same account.
+
+Fault-tolerant sweeps and checkpoint resumes both want their ``RunReport``
+archived next to the results (CI uploads them as trajectory artifacts).  The
+serialization must round-trip every field — attempts with their error
+chains, replays, checkpoint statuses, warnings — and stay byte-stable under
+``sort_keys`` so two identical runs diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.resilience import RunReport, TaskAttempt, TaskReport
+
+
+def sample_report() -> RunReport:
+    return RunReport(
+        tasks=[
+            TaskReport(
+                index=0,
+                attempts=[
+                    TaskAttempt(
+                        attempt=0,
+                        backend="process",
+                        outcome="crash",
+                        duration_seconds=0.25,
+                        error="BrokenProcessPool: worker died",
+                        error_chain=(
+                            "BrokenProcessPool('worker died')",
+                            "SIGKILL(9)",
+                        ),
+                    ),
+                    TaskAttempt(
+                        attempt=1,
+                        backend="process",
+                        outcome="ok",
+                        duration_seconds=1.5,
+                    ),
+                ],
+                replays=1,
+                final_backend="process",
+                completed=True,
+                checkpoint="miss",
+            ),
+            TaskReport(
+                index=1,
+                attempts=[],
+                final_backend="checkpoint",
+                completed=True,
+                checkpoint="hit",
+            ),
+            TaskReport(
+                index=2,
+                attempts=[
+                    TaskAttempt(
+                        attempt=0,
+                        backend="sequential",
+                        outcome="ok",
+                        duration_seconds=0.75,
+                    )
+                ],
+                final_backend="sequential",
+                completed=True,
+                checkpoint="corrupt",
+            ),
+        ],
+        backend="process",
+        respawns=1,
+        degradations=0,
+        wall_seconds=3.25,
+        warnings=["checkpoint cell abc123 is damaged: record truncated"],
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        report = sample_report()
+        restored = RunReport.from_json(report.to_json())
+        assert restored == report
+
+    def test_empty_report_round_trips(self):
+        assert RunReport.from_json(RunReport().to_json()) == RunReport()
+
+    def test_dict_round_trip(self):
+        report = sample_report()
+        assert RunReport.from_dict(report.to_dict()) == report
+
+    def test_derived_views_survive_the_trip(self):
+        restored = RunReport.from_json(sample_report().to_json())
+        assert restored.checkpoint_counts() == {"hit": 1, "miss": 1, "corrupt": 1}
+        assert restored.total_attempts == 3
+        assert restored.total_retries == 1
+        assert restored.faulted_tasks == [0]
+        assert restored.task(0).attempts[0].error_chain == (
+            "BrokenProcessPool('worker died')",
+            "SIGKILL(9)",
+        )
+
+    def test_output_is_valid_sorted_json(self):
+        payload = sample_report().to_json()
+        decoded = json.loads(payload)
+        assert decoded["backend"] == "process"
+        assert list(decoded) == sorted(decoded)
+        # Serializing twice gives identical bytes (stable for artifact diffs).
+        assert sample_report().to_json() == payload
+
+    def test_indent_produces_readable_output(self):
+        payload = sample_report().to_json(indent=2)
+        assert "\n" in payload
+        assert RunReport.from_json(payload) == sample_report()
+
+    def test_summary_reports_checkpoints_and_warnings(self):
+        summary = sample_report().summary()
+        assert summary["checkpoints"] == {"hit": 1, "miss": 1, "corrupt": 1}
+        assert summary["warnings"] == 1
+
+    def test_unknown_fields_are_ignored(self):
+        """Forward compatibility: a report written by a newer version with
+        extra fields still loads."""
+        data = sample_report().to_dict()
+        data["novel_field"] = {"x": 1}
+        data["tasks"][0]["novel_task_field"] = True
+        assert RunReport.from_dict(data) == sample_report()
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises((TypeError, KeyError, AttributeError, ValueError)):
+            RunReport.from_json("[1, 2, 3]")

@@ -167,6 +167,18 @@ def test_roundtrip_keeps_dict_equal_cells_apart():
     assert_roundtrip(dataset)
 
 
+def test_roundtrip_keeps_signed_zero_apart():
+    """``-0.0`` and ``0.0`` compare and hash equal (one dict-key code) but
+    stringify differently, so they must survive as distinct cells."""
+    rows = [
+        {"Age": 0.0, "City": "alpha", "Items": {"i1"}},
+        {"Age": -0.0, "City": "alpha", "Items": set()},
+    ]
+    dataset = make_dataset(rows)
+    assert len(dataset.columnar("Age").values) == 1  # dict-key collapse
+    assert_roundtrip(dataset)
+
+
 def test_attach_cache_is_bounded():
     from repro.columnar import shared as shared_module
 
