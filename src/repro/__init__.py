@@ -43,9 +43,13 @@ from repro.datasets import (
     DatasetDomains,
     DatasetEditor,
     Schema,
+    ADVERSARIAL_GENERATORS,
     generate_adult_like,
+    generate_correlated_rt,
     generate_market_basket,
+    generate_outlier_rt,
     generate_rt_dataset,
+    generate_skewed_rt,
     load_csv,
     save_csv,
     toy_rt_dataset,
@@ -67,20 +71,39 @@ from repro.engine import (
 from repro.exceptions import SecretaError
 from repro.frontend import Session
 
+# Imported after the engine: the attack simulator sits on top of the index
+# and metrics layers, which the imports above finish initializing.
+from repro.attacks import (
+    AttackResult,
+    item_attack,
+    qi_attack,
+    rt_attack,
+    simulate_attacks,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
     "SecretaError",
+    "AttackResult",
+    "item_attack",
+    "qi_attack",
+    "rt_attack",
+    "simulate_attacks",
     "Attribute",
     "AttributeKind",
     "Dataset",
     "DatasetDomains",
     "DatasetEditor",
     "Schema",
+    "ADVERSARIAL_GENERATORS",
     "generate_adult_like",
+    "generate_correlated_rt",
     "generate_market_basket",
+    "generate_outlier_rt",
     "generate_rt_dataset",
+    "generate_skewed_rt",
     "load_csv",
     "save_csv",
     "toy_rt_dataset",

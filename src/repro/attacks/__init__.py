@@ -1,0 +1,36 @@
+"""Adversarial re-identification attack simulation.
+
+Empirically validates the k / k^m / (k, k^m) guarantees by playing the
+prior-knowledge adversary against anonymized outputs, instead of only
+asserting the guarantees analytically (:mod:`repro.metrics.privacy_checks`).
+"""
+
+from repro.attacks.coverage import (
+    AttributeCoverage,
+    best_knowledge,
+    coverage_for,
+    knowledge_combos,
+)
+from repro.attacks.simulator import (
+    MAX_WITNESSES,
+    AttackResult,
+    finalize_sizes,
+    item_attack,
+    qi_attack,
+    rt_attack,
+    simulate_attacks,
+)
+
+__all__ = [
+    "AttackResult",
+    "AttributeCoverage",
+    "MAX_WITNESSES",
+    "best_knowledge",
+    "coverage_for",
+    "finalize_sizes",
+    "item_attack",
+    "knowledge_combos",
+    "qi_attack",
+    "rt_attack",
+    "simulate_attacks",
+]

@@ -1,0 +1,184 @@
+"""Per-record scalar reference implementation of the attack simulator.
+
+The brute-force oracle behind the ``vectorized=False`` switch of
+:mod:`repro.attacks.simulator`: matching sets are plain Python sets of
+record indices, built by probing every published record against the shared
+coverage semantics (:mod:`repro.attacks.coverage`).  No bitsets, no NumPy
+reductions — only the set algebra a pencil-and-paper check would use.  The
+REP003 manifest pins each kernel to its function here, and the Hypothesis
+property suite asserts the two paths produce equal :class:`AttackResult`
+values on arbitrary small instances.
+
+Per-value and per-combination matching sets are memoized (the semantics are
+pure functions of the value/combination), which keeps the oracle runnable at
+benchmark scale while leaving the per-record logic untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.attacks.coverage import AttributeCoverage, best_knowledge
+from repro.datasets.dataset import Dataset
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.index import interpreter_for
+
+
+def _value_match_sets(
+    original: Dataset,
+    anonymized: Dataset,
+    attributes: Sequence[str],
+    coverages: dict[str, AttributeCoverage],
+) -> list[tuple[str, dict]]:
+    """Per attribute: original cell value -> records whose labels cover it."""
+    matchers: list[tuple[str, dict]] = []
+    for attribute in attributes:
+        coverage = coverages[attribute]
+        labels = [record[attribute] for record in anonymized]
+        per_value: dict = {}
+        for record in original:
+            value = record[attribute]
+            if value not in per_value:
+                per_value[value] = frozenset(
+                    index
+                    for index, label in enumerate(labels)
+                    if coverage.covers(label, value)
+                )
+        matchers.append((attribute, per_value))
+    return matchers
+
+
+def _qi_match_set(
+    record, matchers: Sequence[tuple[str, dict]]
+) -> frozenset[int]:
+    """One target's QI matching set: the intersection across attributes."""
+    candidate_sets = sorted(
+        (per_value[record[attribute]] for attribute, per_value in matchers),
+        key=len,
+    )
+    matched = candidate_sets[0]
+    for candidates in candidate_sets[1:]:
+        matched = matched & candidates
+        if not matched:
+            break
+    return matched
+
+
+def qi_sizes_scalar(
+    original: Dataset,
+    anonymized: Dataset,
+    attributes: Sequence[str],
+    coverages: dict[str, AttributeCoverage],
+) -> list[int]:
+    """Per-record QI matching-set sizes via per-record set intersection."""
+    matchers = _value_match_sets(original, anonymized, attributes, coverages)
+    return [len(_qi_match_set(record, matchers)) for record in original]
+
+
+def _item_candidate_sets(
+    anonymized: Dataset,
+    attribute: str,
+    ordered_items: Sequence[str],
+    hierarchy: Hierarchy | None,
+) -> dict[str, frozenset[int]]:
+    """Item -> records whose published itemsets could contain it."""
+    interpreter = interpreter_for(hierarchy, set(ordered_items))
+    wanted = set(ordered_items)
+    per_item: dict[str, set[int]] = {item: set() for item in ordered_items}
+    for index, record in enumerate(anonymized):
+        for item in interpreter.covered_items(record[attribute]):
+            if item in wanted:
+                per_item[item].add(index)
+    return {item: frozenset(records) for item, records in per_item.items()}
+
+
+def _combo_support(
+    combo: tuple[str, ...],
+    candidates: dict[str, frozenset[int]],
+    memo: dict[tuple[str, ...], frozenset[int]],
+) -> frozenset[int]:
+    matched = memo.get(combo)
+    if matched is None:
+        matched = candidates[combo[0]]
+        for item in combo[1:]:
+            matched = matched & candidates[item]
+        memo[combo] = matched
+    return matched
+
+
+def item_sizes_scalar(
+    original: Dataset,
+    anonymized: Dataset,
+    m: int,
+    attribute: str,
+    ordered_items: Sequence[str],
+    hierarchy: Hierarchy | None,
+    knowledge_cap: int | None,
+) -> tuple[list[int], dict[int, tuple[str, ...]], bool]:
+    """Per-record worst item-knowledge matching-set sizes via set algebra."""
+    candidates = _item_candidate_sets(anonymized, attribute, ordered_items, hierarchy)
+    combo_memo: dict[tuple[str, ...], frozenset[int]] = {}
+    basket_memo: dict[frozenset, tuple[int, tuple[str, ...] | None, bool]] = {}
+    wanted = set(ordered_items)
+    sizes: list[int] = []
+    knowledge: dict[int, tuple[str, ...]] = {}
+    truncated = False
+    for index, record in enumerate(original):
+        basket = frozenset(
+            str(item) for item in record[attribute] if str(item) in wanted
+        )
+        outcome = basket_memo.get(basket)
+        if outcome is None:
+            outcome = best_knowledge(
+                basket,
+                m,
+                lambda combo: len(_combo_support(combo, candidates, combo_memo)),
+                cap=knowledge_cap,
+            )
+            basket_memo[basket] = outcome
+        best, witness, hit_cap = outcome
+        sizes.append(best)
+        if witness is not None:
+            knowledge[index] = witness
+        truncated = truncated or hit_cap
+    return sizes, knowledge, truncated
+
+
+def rt_sizes_scalar(
+    original: Dataset,
+    anonymized: Dataset,
+    m: int,
+    attributes: Sequence[str],
+    coverages: dict[str, AttributeCoverage],
+    attribute: str,
+    ordered_items: Sequence[str],
+    hierarchy: Hierarchy | None,
+    knowledge_cap: int | None,
+) -> tuple[list[int], dict[int, tuple[str, ...]], bool]:
+    """Combined QI + item matching-set sizes, one target at a time."""
+    matchers = _value_match_sets(original, anonymized, attributes, coverages)
+    candidates = _item_candidate_sets(anonymized, attribute, ordered_items, hierarchy)
+    combo_memo: dict[tuple[str, ...], frozenset[int]] = {}
+    wanted = set(ordered_items)
+    sizes: list[int] = []
+    knowledge: dict[int, tuple[str, ...]] = {}
+    truncated = False
+    for index, record in enumerate(original):
+        qi_matched = _qi_match_set(record, matchers)
+        basket = frozenset(
+            str(item) for item in record[attribute] if str(item) in wanted
+        )
+        best, witness, hit_cap = best_knowledge(
+            basket,
+            m,
+            lambda combo: len(
+                qi_matched & _combo_support(combo, candidates, combo_memo)
+            ),
+            cap=knowledge_cap,
+            initial=len(qi_matched),
+        )
+        sizes.append(best)
+        if witness is not None:
+            knowledge[index] = witness
+        truncated = truncated or hit_cap
+    return sizes, knowledge, truncated

@@ -13,9 +13,13 @@ from repro.datasets.dataset import Dataset, Record
 from repro.datasets.domains import DatasetDomains
 from repro.datasets.editor import DatasetEditor
 from repro.datasets.generators import (
+    ADVERSARIAL_GENERATORS,
     generate_adult_like,
+    generate_correlated_rt,
     generate_market_basket,
+    generate_outlier_rt,
     generate_rt_dataset,
+    generate_skewed_rt,
     toy_rt_dataset,
 )
 from repro.datasets.statistics import (
@@ -39,9 +43,13 @@ __all__ = [
     "read_csv_text",
     "save_csv",
     "write_csv_text",
+    "ADVERSARIAL_GENERATORS",
     "generate_adult_like",
+    "generate_correlated_rt",
     "generate_market_basket",
+    "generate_outlier_rt",
     "generate_rt_dataset",
+    "generate_skewed_rt",
     "toy_rt_dataset",
     "attribute_histogram",
     "dataset_summary",

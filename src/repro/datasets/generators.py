@@ -13,7 +13,16 @@ generators that produce datasets with the same structural characteristics:
 * :func:`generate_rt_dataset` — the two glued together into an RT-dataset,
   which is what the demonstration scenarios operate on.
 
-All generators take a ``seed`` and are fully reproducible.
+Adversarial variants stress the regimes where privacy guarantees are hardest
+to keep (used by the guarantee-conformance suite, ``docs/validation.md``):
+
+* :func:`generate_skewed_rt` — a much heavier-tailed item distribution,
+* :func:`generate_correlated_rt` — items correlated with quasi-identifiers,
+* :func:`generate_outlier_rt` — a fraction of records made near-unique.
+
+All generators take a ``seed`` and are fully reproducible; alternatively an
+explicit ``numpy.random.Generator`` can be passed as ``rng`` to share one
+stream across several generation steps (``seed`` is then ignored).
 """
 
 from __future__ import annotations
@@ -69,6 +78,11 @@ DISEASE_VALUES = [
 ]
 
 
+def _resolve_rng(rng: np.random.Generator | None, seed: int) -> np.random.Generator:
+    """An explicit generator wins; otherwise the legacy per-seed stream."""
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
 def _skewed_choice(
     rng: np.random.Generator, values: Sequence[str], size: int, skew: float = 1.2
 ) -> list[str]:
@@ -85,6 +99,7 @@ def generate_adult_like(
     seed: int = 7,
     include_sensitive: bool = True,
     name: str = "adult-like",
+    rng: np.random.Generator | None = None,
 ) -> Dataset:
     """Generate a census-like relational dataset.
 
@@ -95,7 +110,7 @@ def generate_adult_like(
     """
     if n_records <= 0:
         raise DatasetError("n_records must be positive")
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(rng, seed)
 
     ages = np.clip(rng.normal(38, 13, size=n_records).round(), 17, 90).astype(int)
     hours = np.clip(rng.normal(40, 10, size=n_records).round(), 1, 99).astype(int)
@@ -143,22 +158,27 @@ def generate_market_basket(
     item_prefix: str = "i",
     attribute_name: str = "Items",
     name: str = "market-basket",
+    rng: np.random.Generator | None = None,
+    skew: float = 1.1,
 ) -> Dataset:
     """Generate a transaction dataset with a long-tailed item distribution.
 
-    Item popularity follows a Zipf-like law (a few very frequent items, a long
-    tail of rare ones), which is the regime where k^m-anonymity algorithms
-    differ most — exactly what SECRETA's comparison mode is meant to surface.
+    Item popularity follows a Zipf-like law with exponent ``skew`` (a few
+    very frequent items, a long tail of rare ones), which is the regime where
+    k^m-anonymity algorithms differ most — exactly what SECRETA's comparison
+    mode is meant to surface.
     """
     if n_records <= 0 or n_items <= 0:
         raise DatasetError("n_records and n_items must be positive")
     if avg_items_per_record <= 0:
         raise DatasetError("avg_items_per_record must be positive")
-    rng = np.random.default_rng(seed)
+    if skew < 0:
+        raise DatasetError("skew must be non-negative")
+    rng = _resolve_rng(rng, seed)
 
     items = [f"{item_prefix}{index:03d}" for index in range(n_items)]
     ranks = np.arange(1, n_items + 1, dtype=float)
-    weights = 1.0 / np.power(ranks, 1.1)
+    weights = 1.0 / np.power(ranks, skew)
     weights /= weights.sum()
 
     dataset = Dataset(
@@ -180,6 +200,8 @@ def generate_rt_dataset(
     include_sensitive: bool = True,
     transaction_attribute: str = "Items",
     name: str = "rt-dataset",
+    rng: np.random.Generator | None = None,
+    skew: float = 1.1,
 ) -> Dataset:
     """Generate an RT-dataset: census-like relational part + market basket.
 
@@ -187,12 +209,18 @@ def generate_rt_dataset(
     demonstration (Section 3): each record describes an individual through
     demographic quasi-identifiers plus a set-valued attribute of items
     (purchases or diagnosis codes).
+
+    With the default ``rng=None``, the relational part draws from the
+    ``seed`` stream and the baskets from the ``seed + 1`` stream (the
+    historical layout every regression seed depends on); an explicit ``rng``
+    feeds both parts from that one stream, in order.
     """
     relational = generate_adult_like(
         n_records=n_records,
         seed=seed,
         include_sensitive=include_sensitive,
         name=name,
+        rng=rng,
     )
     baskets = generate_market_basket(
         n_records=n_records,
@@ -200,12 +228,140 @@ def generate_rt_dataset(
         avg_items_per_record=avg_items_per_record,
         seed=seed + 1,
         attribute_name=transaction_attribute,
+        rng=rng,
+        skew=skew,
     )
     relational.add_attribute(
         Attribute.transaction(transaction_attribute),
         values=[record[transaction_attribute] for record in baskets],
     )
     return relational
+
+
+# -- adversarial variants ------------------------------------------------------
+def generate_skewed_rt(
+    n_records: int = 1000,
+    n_items: int = 60,
+    avg_items_per_record: float = 4.0,
+    seed: int = 13,
+    skew: float = 2.5,
+    name: str = "skewed-rt",
+    rng: np.random.Generator | None = None,
+) -> Dataset:
+    """An RT-dataset with a much heavier-tailed (Zipf) item distribution.
+
+    A steep ``skew`` concentrates most baskets on a handful of head items
+    and leaves the tail items in only one or two records each — the regime
+    where isolating item combinations are most likely and k^m protection is
+    hardest to keep.
+    """
+    return generate_rt_dataset(
+        n_records=n_records,
+        n_items=n_items,
+        avg_items_per_record=avg_items_per_record,
+        seed=seed,
+        name=name,
+        rng=rng,
+        skew=skew,
+    )
+
+
+def generate_correlated_rt(
+    n_records: int = 1000,
+    n_items: int = 60,
+    avg_items_per_record: float = 4.0,
+    seed: int = 13,
+    correlation: float = 0.8,
+    name: str = "correlated-rt",
+    rng: np.random.Generator | None = None,
+) -> Dataset:
+    """An RT-dataset whose items correlate with the quasi-identifiers.
+
+    The item universe is partitioned into one block per ``Occupation``
+    value, and each record draws a fraction ``correlation`` of its basket
+    from its own occupation's block (the rest from the global long tail).
+    Knowing a target's demographics then *implies* likely items, so the
+    combined QI + item adversary is far stronger than on independent data —
+    the stress case for (k, k^m)-anonymity.
+    """
+    if not 0 <= correlation <= 1:
+        raise DatasetError("correlation must be in [0, 1]")
+    if n_items < len(OCCUPATION_VALUES):
+        raise DatasetError(
+            f"correlated generation needs at least {len(OCCUPATION_VALUES)} items"
+        )
+    rng = _resolve_rng(rng, seed)
+    dataset = generate_rt_dataset(
+        n_records=n_records,
+        n_items=n_items,
+        avg_items_per_record=avg_items_per_record,
+        seed=seed,
+        name=name,
+        rng=rng,
+    )
+    items = sorted(dataset.item_universe("Items"))
+    blocks: dict[str, list[str]] = {
+        occupation: items[index :: len(OCCUPATION_VALUES)]
+        for index, occupation in enumerate(OCCUPATION_VALUES)
+    }
+    for position, record in enumerate(dataset):
+        basket = list(record["Items"])
+        block = blocks[record["Occupation"]]
+        rebound = [
+            block[int(rng.integers(len(block)))]
+            if rng.random() < correlation
+            else item
+            for item in basket
+        ]
+        dataset.set_value(position, "Items", sorted(set(rebound)))
+    return dataset
+
+
+def generate_outlier_rt(
+    n_records: int = 1000,
+    n_items: int = 60,
+    avg_items_per_record: float = 4.0,
+    seed: int = 13,
+    outlier_fraction: float = 0.05,
+    name: str = "outlier-rt",
+    rng: np.random.Generator | None = None,
+) -> Dataset:
+    """An RT-dataset where a fraction of records are near-unique outliers.
+
+    Each outlier gets an extreme ``Age``/``Hours`` pair plus one rare item
+    of its own (``rNNN``), making it trivially re-identifiable *before*
+    anonymization — exactly the records a correct anonymizer must fold into
+    classes of at least ``k``, and a broken one leaves exposed.
+    """
+    if not 0 <= outlier_fraction <= 1:
+        raise DatasetError("outlier_fraction must be in [0, 1]")
+    rng = _resolve_rng(rng, seed)
+    dataset = generate_rt_dataset(
+        n_records=n_records,
+        n_items=n_items,
+        avg_items_per_record=avg_items_per_record,
+        seed=seed,
+        name=name,
+        rng=rng,
+    )
+    n_outliers = int(round(n_records * outlier_fraction))
+    if not n_outliers:
+        return dataset
+    chosen = rng.choice(n_records, size=min(n_outliers, n_records), replace=False)
+    for rank, position in enumerate(sorted(int(index) for index in chosen)):
+        dataset.set_value(position, "Age", 95 + rank % 5)
+        dataset.set_value(position, "Hours", 99)
+        basket = list(dataset[position]["Items"])
+        dataset.set_value(position, "Items", sorted(set(basket) | {f"r{rank:03d}"}))
+    return dataset
+
+
+#: The adversarial generator catalog the conformance suite iterates over.
+ADVERSARIAL_GENERATORS = {
+    "skewed": generate_skewed_rt,
+    "correlated": generate_correlated_rt,
+    "outlier": generate_outlier_rt,
+}
 
 
 def toy_rt_dataset() -> Dataset:

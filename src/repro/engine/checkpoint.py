@@ -263,7 +263,8 @@ def decode_frame(blob: bytes) -> bytes:
 
 #: Bump when the *meaning* of a key changes (new inputs folded in, different
 #: resource semantics) so old cells are orphaned instead of wrongly reused.
-KEY_SCHEMA_VERSION = 1
+#: Version 2: the attack-simulation flag joined the key inputs (PR 9).
+KEY_SCHEMA_VERSION = 2
 
 _SEPARATOR = b"\x1f"
 
@@ -422,6 +423,7 @@ def sweep_point_keys(
     universe_mode: str,
     config: "AnonymizationConfig",
     sweep: "ParameterSweep",
+    simulate_attacks: bool = False,
 ) -> list[str]:
     """One key per sweep point of a varying-parameter experiment.
 
@@ -437,6 +439,7 @@ def sweep_point_keys(
             resources,
             bool(verify_privacy),
             universe_mode,
+            bool(simulate_attacks),
             config,
             sweep.parameter,
             value,
@@ -452,6 +455,7 @@ def configuration_keys(
     universe_mode: str,
     configurations: Sequence["AnonymizationConfig"],
     sweep: "ParameterSweep",
+    simulate_attacks: bool = False,
 ) -> list[str]:
     """One key per configuration of a comparison (whole-sweep granularity)."""
     return [
@@ -461,6 +465,7 @@ def configuration_keys(
             resources,
             bool(verify_privacy),
             universe_mode,
+            bool(simulate_attacks),
             config,
             sweep,
         )

@@ -42,13 +42,23 @@ def _run_configuration(task: tuple) -> SweepResult:
     comparison checkpoints at both granularities: whole-configuration cells
     out here, per-sweep-point cells inside the worker's own experiment.
     """
-    dataset, resources, verify_privacy, universe_mode, config, sweep, checkpoint = task
+    (
+        dataset,
+        resources,
+        verify_privacy,
+        universe_mode,
+        simulate_attacks,
+        config,
+        sweep,
+        checkpoint,
+    ) = task
     experiment = VaryingParameterExperiment(
         resolve_shared_dataset(dataset),
         resources,
         verify_privacy=verify_privacy,
         universe_mode=universe_mode,
         checkpoint=checkpoint,
+        simulate_attacks=simulate_attacks,
     )
     return experiment.run(config, sweep)
 
@@ -68,6 +78,7 @@ class MethodComparator:
         universe_mode: str = "original",
         policy: ExecutionPolicy | None = None,
         checkpoint: CheckpointStore | None = None,
+        simulate_attacks: bool = False,
     ) -> None:
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
@@ -79,6 +90,7 @@ class MethodComparator:
         self.universe_mode = universe_mode
         self.policy = policy
         self.checkpoint = checkpoint
+        self.simulate_attacks = simulate_attacks
 
     def _tasks(
         self,
@@ -92,6 +104,7 @@ class MethodComparator:
                 self.resources,
                 self.verify_privacy,
                 self.universe_mode,
+                self.simulate_attacks,
                 config,
                 sweep,
                 self.checkpoint,
@@ -125,6 +138,7 @@ class MethodComparator:
                 self.universe_mode,
                 configurations,
                 sweep,
+                self.simulate_attacks,
             )
             if self.checkpoint is not None
             else None

@@ -15,6 +15,7 @@ can plot:
 
 from __future__ import annotations
 
+from repro.attacks.simulator import AttackResult, item_attack, qi_attack, rt_attack
 from repro.datasets.dataset import Dataset
 from repro.datasets.statistics import generalized_value_frequencies
 from repro.engine.anonymizer import AnonymizationModule
@@ -22,9 +23,9 @@ from repro.engine.config import AnonymizationConfig
 from repro.engine.resources import ExperimentResources
 from repro.engine.results import EvaluationReport
 from repro.metrics.privacy_checks import (
-    is_k_anonymous,
-    is_k_km_anonymous,
-    is_km_anonymous,
+    k_km_violations,
+    k_violations,
+    km_violations,
     min_class_size,
 )
 from repro.metrics.relational import (
@@ -51,10 +52,20 @@ class MethodEvaluator:
         verify_privacy: bool = True,
         km_check_limit: int = 128,
         universe_mode: str = "original",
+        simulate_attacks: bool = False,
+        attack_knowledge_cap: int | None = None,
     ) -> None:
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
         self.verify_privacy = verify_privacy
+        #: Whether to additionally play the prior-knowledge adversary against
+        #: every anonymized output (:mod:`repro.attacks`) and report the
+        #: empirical guarantees alongside the analytic privacy status.
+        self.simulate_attacks = simulate_attacks
+        #: Cap on the number of item combinations probed per distinct basket
+        #: during attack simulation (``None`` = exhaustive); results note
+        #: truncation so a capped attack is never mistaken for a proof.
+        self.attack_knowledge_cap = attack_knowledge_cap
         #: How ARE resolves generalized labels: ``"original"`` keys the query
         #: interpreters by the original dataset's attribute domains (captured
         #: in the resources at prepare time), making ARE consistent with the
@@ -127,13 +138,20 @@ class MethodEvaluator:
         km_feasible = len(universe) <= self.km_check_limit
         if config.relational_algorithm is not None:
             status["min_class_size"] = min_class_size(anonymized, attributes)
-            status["k_anonymous"] = is_k_anonymous(anonymized, config.k, attributes)
+            k_witnesses = (
+                k_violations(anonymized, config.k, attributes, max_violations=1)
+                if len(anonymized)
+                else []
+            )
+            status["k_anonymous"] = not k_witnesses
+            if k_witnesses:
+                status["k_witness"] = k_witnesses[0]
         if config.transaction_algorithm is not None and transaction_attribute:
             status["m"] = config.m
             if not self.verify_privacy or not km_feasible:
                 status["km_anonymous"] = None
             elif config.mode == "rt":
-                status["k_km_anonymous"] = is_k_km_anonymous(
+                witnesses = k_km_violations(
                     anonymized,
                     config.k,
                     config.m,
@@ -141,17 +159,67 @@ class MethodEvaluator:
                     transaction_attribute=transaction_attribute,
                     hierarchy=self.resources.item_hierarchy,
                     universe=universe,
+                    max_violations=1,
                 )
+                status["k_km_anonymous"] = not witnesses
+                if witnesses:
+                    status["k_km_witness"] = witnesses[0]
             else:
-                status["km_anonymous"] = is_km_anonymous(
+                km_witnesses = km_violations(
                     anonymized,
                     config.k,
                     config.m,
                     attribute=transaction_attribute,
                     hierarchy=self.resources.item_hierarchy,
                     universe=universe,
+                    max_violations=1,
                 )
+                status["km_anonymous"] = not km_witnesses
+                if km_witnesses:
+                    status["km_witness"] = km_witnesses[0]
         return status
+
+    def _attack_status(
+        self, config: AnonymizationConfig, anonymized: Dataset
+    ) -> dict[str, AttackResult]:
+        """Simulated re-identification attacks matching the configuration.
+
+        Each adversary is played only where the configuration makes a
+        promise: a QI-matching adversary when a relational algorithm ran, an
+        item-knowledge adversary (``m`` known items) when a transaction
+        algorithm ran, and the combined adversary for RT mode.
+        """
+        attacks: dict[str, AttackResult] = {}
+        attributes = self._relational_attributes(config)
+        transaction_attribute = self._transaction_attribute(config)
+        if config.relational_algorithm is not None and attributes:
+            attacks["qi"] = qi_attack(
+                self.dataset,
+                anonymized,
+                attributes=attributes,
+                hierarchies=self.resources.hierarchies,
+            )
+        if config.transaction_algorithm is not None and transaction_attribute:
+            attacks["item"] = item_attack(
+                self.dataset,
+                anonymized,
+                config.m,
+                attribute=transaction_attribute,
+                hierarchy=self.resources.item_hierarchy,
+                knowledge_cap=self.attack_knowledge_cap,
+            )
+        if config.mode == "rt" and attributes and transaction_attribute:
+            attacks["rt"] = rt_attack(
+                self.dataset,
+                anonymized,
+                config.m,
+                relational_attributes=attributes,
+                transaction_attribute=transaction_attribute,
+                hierarchies=self.resources.hierarchies,
+                item_hierarchy=self.resources.item_hierarchy,
+                knowledge_cap=self.attack_knowledge_cap,
+            )
+        return attacks
 
     # -- main -------------------------------------------------------------------------
     def evaluate(self, config: AnonymizationConfig) -> EvaluationReport:
@@ -201,4 +269,9 @@ class MethodEvaluator:
             phase_seconds=dict(result.phase_seconds),
             generalized_value_frequencies=generalized_frequencies,
             item_frequency_errors=item_errors,
+            attacks=(
+                self._attack_status(config, anonymized)
+                if self.simulate_attacks
+                else {}
+            ),
         )

@@ -32,7 +32,12 @@ from repro.engine.evaluator import MethodEvaluator
 from repro.engine.pool import WorkerPool, fan_out_shared
 from repro.engine.resilience import ExecutionPolicy, RunReport
 from repro.engine.resources import ExperimentResources
-from repro.engine.results import EvaluationReport, Series, SweepResult
+from repro.engine.results import (
+    ATTACK_INDICATORS,
+    EvaluationReport,
+    Series,
+    SweepResult,
+)
 from repro.engine.runner import resolve_mode, run_many
 from repro.exceptions import ConfigurationError
 
@@ -45,7 +50,7 @@ SWEEP_INDICATORS = (
     "item_frequency_error",
     "discernibility",
     "average_class_size",
-)
+) + ATTACK_INDICATORS
 
 
 @dataclass(frozen=True)
@@ -110,6 +115,11 @@ def indicator_series(
             elif indicator in report.utility:
                 current.append(value, report.utility[indicator])
                 populated = True
+            elif indicator in ATTACK_INDICATORS:
+                attack_value = report.attack_indicator(indicator)
+                if attack_value is not None:
+                    current.append(value, attack_value)
+                    populated = True
         if populated:
             series[indicator] = current
     return series
@@ -123,10 +133,23 @@ def _evaluate_sweep_point(task: tuple) -> EvaluationReport:
     dataset itself (sequential/thread) or a shared-memory manifest that the
     worker attaches — once per process — without copying array payloads.
     """
-    dataset, resources, verify_privacy, universe_mode, config, parameter, value = task
+    (
+        dataset,
+        resources,
+        verify_privacy,
+        universe_mode,
+        simulate_attacks,
+        config,
+        parameter,
+        value,
+    ) = task
     dataset = resolve_shared_dataset(dataset)
     evaluator = MethodEvaluator(
-        dataset, resources, verify_privacy=verify_privacy, universe_mode=universe_mode
+        dataset,
+        resources,
+        verify_privacy=verify_privacy,
+        universe_mode=universe_mode,
+        simulate_attacks=simulate_attacks,
     )
     return evaluator.evaluate(config.with_parameter(parameter, value))
 
@@ -160,6 +183,7 @@ class VaryingParameterExperiment:
         universe_mode: str = "original",
         policy: ExecutionPolicy | None = None,
         checkpoint: CheckpointStore | None = None,
+        simulate_attacks: bool = False,
     ) -> None:
         self.dataset = dataset
         self.resources = resources or ExperimentResources()
@@ -170,6 +194,7 @@ class VaryingParameterExperiment:
         self.universe_mode = universe_mode
         self.policy = policy
         self.checkpoint = checkpoint
+        self.simulate_attacks = simulate_attacks
 
     def _tasks(
         self, payload: object, config: AnonymizationConfig, sweep: ParameterSweep
@@ -180,6 +205,7 @@ class VaryingParameterExperiment:
                 self.resources,
                 self.verify_privacy,
                 self.universe_mode,
+                self.simulate_attacks,
                 config,
                 sweep.parameter,
                 value,
@@ -205,6 +231,7 @@ class VaryingParameterExperiment:
                 self.universe_mode,
                 config,
                 sweep,
+                self.simulate_attacks,
             )
             if self.checkpoint is not None
             else None

@@ -11,8 +11,18 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.algorithms.base import AnonymizationResult
+from repro.attacks.simulator import AttackResult
 from repro.datasets.dataset import Dataset
 from repro.engine.resilience import RunReport
+
+#: Attack-derived sweep indicators: the empirical guarantee each simulated
+#: adversary observes, plus the worst per-record re-identification risk.
+ATTACK_INDICATORS = (
+    "attack_qi_k",
+    "attack_item_km",
+    "attack_rt_k",
+    "attack_max_risk",
+)
 
 
 @dataclass
@@ -60,10 +70,36 @@ class EvaluationReport:
     phase_seconds: dict[str, float]
     generalized_value_frequencies: dict[str, dict[str, int]] = field(default_factory=dict)
     item_frequency_errors: dict[str, float] = field(default_factory=dict)
+    #: Simulated re-identification attacks against the anonymized output
+    #: (empty unless the evaluator ran with ``simulate_attacks=True``), keyed
+    #: ``"qi"`` / ``"item"`` / ``"rt"`` by adversary model.
+    attacks: dict[str, AttackResult] = field(default_factory=dict)
 
     @property
     def anonymized(self) -> Dataset:
         return self.result.dataset
+
+    def attack_indicator(self, indicator: str) -> float | None:
+        """The value of one :data:`ATTACK_INDICATORS` entry (``None`` = absent).
+
+        An attack whose ``empirical_k`` is ``None`` (the adversary never
+        found a candidate) yields no point rather than a misleading zero.
+        """
+        per_attack = {
+            "attack_qi_k": "qi",
+            "attack_item_km": "item",
+            "attack_rt_k": "rt",
+        }
+        if indicator in per_attack:
+            attack = self.attacks.get(per_attack[indicator])
+            if attack is None or attack.empirical_k is None:
+                return None
+            return float(attack.empirical_k)
+        if indicator == "attack_max_risk":
+            if not self.attacks:
+                return None
+            return max(attack.max_risk for attack in self.attacks.values())
+        return None
 
     def summary(self) -> dict[str, Any]:
         """The flat summary row shown by the "message box" after a run."""
@@ -74,6 +110,9 @@ class EvaluationReport:
             **{f"utility_{key}": value for key, value in self.utility.items()},
             **{f"privacy_{key}": value for key, value in self.privacy.items()},
         }
+        for name, attack in self.attacks.items():
+            row[f"attack_{name}_empirical_k"] = attack.empirical_k
+            row[f"attack_{name}_max_risk"] = attack.max_risk
         return row
 
 

@@ -157,6 +157,7 @@ class Session:
         config: AnonymizationConfig,
         resources: ExperimentResources | None = None,
         universe_mode: str = "original",
+        simulate_attacks: bool = False,
     ) -> EvaluationReport:
         """Run one configuration and compute all Evaluation-mode indicators.
 
@@ -164,13 +165,17 @@ class Session:
         ``"original"`` (default) against the original dataset's attribute
         domains — consistent with the utility-loss charging rule — and
         ``"seed"`` against the hierarchies alone (the pre-universe regression
-        reference); see ``docs/queries.md``.
+        reference); see ``docs/queries.md``.  ``simulate_attacks=True``
+        additionally plays the prior-knowledge re-identification adversary
+        against the anonymized output and attaches the empirical guarantees
+        to the report (see ``docs/validation.md``).
         """
         evaluator = MethodEvaluator(
             self.dataset,
             resources or self.resources(),
             verify_privacy=self._verify_privacy,
             universe_mode=universe_mode,
+            simulate_attacks=simulate_attacks,
         )
         return evaluator.evaluate(config)
 
@@ -213,6 +218,7 @@ class Session:
         universe_mode: str = "original",
         policy: ExecutionPolicy | None = None,
         checkpoint: CheckpointStore | None = None,
+        simulate_attacks: bool = False,
     ) -> SweepResult:
         """Varying-parameter execution of a single configuration.
 
@@ -237,6 +243,7 @@ class Session:
             universe_mode=universe_mode,
             policy=policy,
             checkpoint=checkpoint or self._checkpoint,
+            simulate_attacks=simulate_attacks,
         )
         return experiment.run(config, ParameterSweep.from_range(parameter, start, end, step))
 
@@ -256,6 +263,7 @@ class Session:
         universe_mode: str = "original",
         policy: ExecutionPolicy | None = None,
         checkpoint: CheckpointStore | None = None,
+        simulate_attacks: bool = False,
     ) -> ComparisonReport:
         """Run several configurations across a sweep and collect their series.
 
@@ -280,6 +288,7 @@ class Session:
             universe_mode=universe_mode,
             policy=policy,
             checkpoint=checkpoint or self._checkpoint,
+            simulate_attacks=simulate_attacks,
         )
         return comparator.compare(
             configurations, ParameterSweep.from_range(parameter, start, end, step)

@@ -31,7 +31,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.columnar.bitset import popcount, posting_matrix
+from repro.columnar.bitset import indices_of, popcount, posting_matrix
 from repro.datasets.dataset import Dataset
 from repro.exceptions import DatasetError
 from repro.hierarchy.hierarchy import Hierarchy
@@ -58,15 +58,48 @@ def min_class_size(dataset: Dataset, attributes: Sequence[str] | None = None) ->
     return min((len(indices) for indices in groups.values()), default=0)
 
 
+@dataclass(frozen=True)
+class KViolation:
+    """An equivalence class smaller than ``k``, with the records inside it.
+
+    The ``records`` are the indices of the offending class — the
+    counterexample an auditor can look up directly in the dataset.
+    """
+
+    values: tuple
+    size: int
+    records: tuple[int, ...]
+
+
+def k_violations(
+    dataset: Dataset,
+    k: int,
+    attributes: Sequence[str] | None = None,
+    max_violations: int | None = None,
+) -> list[KViolation]:
+    """Every equivalence class of fewer than ``k`` records, as witnesses."""
+    if k < 1:
+        raise DatasetError("k must be at least 1")
+    violations: list[KViolation] = []
+    for values, indices in equivalence_classes(dataset, attributes).items():
+        if len(indices) < k:
+            violations.append(
+                KViolation(values=values, size=len(indices), records=tuple(indices))
+            )
+            if max_violations is not None and len(violations) >= max_violations:
+                break
+    return violations
+
+
 def is_k_anonymous(
     dataset: Dataset, k: int, attributes: Sequence[str] | None = None
 ) -> bool:
     """Whether every equivalence class has at least ``k`` records."""
-    if k < 1:
-        raise DatasetError("k must be at least 1")
     if len(dataset) == 0:
+        if k < 1:
+            raise DatasetError("k must be at least 1")
         return True
-    return min_class_size(dataset, attributes) >= k
+    return not k_violations(dataset, k, attributes, max_violations=1)
 
 
 # -- transactions: k^m-anonymity ------------------------------------------------
@@ -97,12 +130,60 @@ def candidate_support(
     return support
 
 
+def candidate_matrix(
+    dataset: Dataset,
+    attribute: str,
+    interpreter,
+    ordered_items: Sequence[str],
+) -> np.ndarray:
+    """Per-item candidate-record bitsets of an anonymized transaction column.
+
+    Row ``t`` is the bitset of records whose (possibly generalized) itemset
+    *covers* item ``ordered_items[t]`` — the attacker's view of who could
+    hold the item.  Itemset resolution is memoized per distinct itemset by
+    the shared ``interpreter``; items outside ``ordered_items`` are ignored.
+    """
+    token_of = {item: token for token, item in enumerate(ordered_items)}
+    itemset_tokens: dict[frozenset, np.ndarray] = {}
+    token_chunks: list[np.ndarray] = []
+    record_chunks: list[np.ndarray] = []
+    for position, record in enumerate(dataset):
+        labels = record[attribute]
+        tokens = itemset_tokens.get(labels)
+        if tokens is None:
+            covered = [
+                item
+                for item in interpreter.covered_items(labels)
+                if item in token_of
+            ]
+            tokens = np.fromiter(
+                (token_of[item] for item in covered),
+                dtype=np.int64,
+                count=len(covered),
+            )
+            itemset_tokens[labels] = tokens
+        if tokens.size:
+            token_chunks.append(tokens)
+            record_chunks.append(np.full(tokens.size, position, dtype=np.int64))
+    return posting_matrix(
+        np.concatenate(token_chunks) if token_chunks else np.empty(0, np.int64),
+        np.concatenate(record_chunks) if record_chunks else np.empty(0, np.int64),
+        len(ordered_items),
+        len(dataset),
+    )
+
+
 @dataclass(frozen=True)
 class KmViolation:
-    """A combination of at most ``m`` items supported by fewer than ``k`` records."""
+    """A combination of at most ``m`` items supported by fewer than ``k`` records.
+
+    ``records`` holds the candidate records supporting the combination — the
+    individuals an adversary knowing exactly these items would single out.
+    """
 
     items: tuple[str, ...]
     support: int
+    records: tuple[int, ...] = ()
 
 
 def km_violations(
@@ -133,35 +214,12 @@ def km_violations(
         universe = derived
     universe_set = {str(item) for item in universe}
     ordered = sorted(universe_set)
-    token_of = {item: token for token, item in enumerate(ordered)}
 
     # Pack each item's candidate records (records whose covered leaf set
     # contains the item) into one bitset row; itemset resolution is memoized
     # per distinct itemset by the shared interpreter.
     interpreter = interpreter_for(hierarchy, universe_set)
-    itemset_tokens: dict[frozenset, np.ndarray] = {}
-    token_chunks: list[np.ndarray] = []
-    record_chunks: list[np.ndarray] = []
-    for position, record in enumerate(dataset):
-        labels = record[attribute]
-        tokens = itemset_tokens.get(labels)
-        if tokens is None:
-            covered = interpreter.covered_items(labels)
-            tokens = np.fromiter(
-                (token_of[item] for item in covered),
-                dtype=np.int64,
-                count=len(covered),
-            )
-            itemset_tokens[labels] = tokens
-        if tokens.size:
-            token_chunks.append(tokens)
-            record_chunks.append(np.full(tokens.size, position, dtype=np.int64))
-    candidates = posting_matrix(
-        np.concatenate(token_chunks) if token_chunks else np.empty(0, np.int64),
-        np.concatenate(record_chunks) if record_chunks else np.empty(0, np.int64),
-        len(ordered),
-        len(dataset),
-    )
+    candidates = candidate_matrix(dataset, attribute, interpreter, ordered)
 
     violations: list[KmViolation] = []
     limit = max_violations if max_violations is not None else -1
@@ -178,7 +236,11 @@ def km_violations(
                 support = popcount(bits)
                 if 0 < support < k:
                     violations.append(
-                        KmViolation(items=prefix + (ordered[token],), support=support)
+                        KmViolation(
+                            items=prefix + (ordered[token],),
+                            support=support,
+                            records=tuple(int(i) for i in indices_of(bits)),
+                        )
                     )
                     if limit >= 0 and len(violations) >= limit:
                         return True
@@ -220,6 +282,88 @@ def is_km_anonymous(
 
 
 # -- RT-datasets: (k, k^m)-anonymity ----------------------------------------------
+@dataclass(frozen=True)
+class KKmViolation:
+    """One way an RT-dataset fails (k, k^m)-anonymity.
+
+    ``kind`` is ``"relational"`` (an equivalence class smaller than ``k``;
+    ``items`` empty) or ``"transaction"`` (within the class identified by
+    ``class_values``, knowing ``items`` narrows the candidates down to
+    ``support`` < ``k`` records).  ``records`` always holds dataset-level
+    indices of the singled-out records.
+    """
+
+    kind: str
+    class_values: tuple
+    records: tuple[int, ...]
+    items: tuple[str, ...] = ()
+    support: int = 0
+
+
+def k_km_violations(
+    dataset: Dataset,
+    k: int,
+    m: int,
+    relational_attributes: Sequence[str] | None = None,
+    transaction_attribute: str | None = None,
+    hierarchy: Hierarchy | None = None,
+    universe: Iterable[str] | None = None,
+    max_violations: int | None = None,
+) -> list[KKmViolation]:
+    """Witnesses against (k, k^m)-anonymity (Poulis et al. 2013).
+
+    The relational projection must be k-anonymous and the transaction
+    projection of *every relational equivalence class* must be k^m-anonymous;
+    each failure of either condition becomes one :class:`KKmViolation`.
+    """
+    transaction_attribute = (
+        transaction_attribute or dataset.single_transaction_attribute()
+    )
+    violations: list[KKmViolation] = []
+
+    def full() -> bool:
+        return max_violations is not None and len(violations) >= max_violations
+
+    for class_violation in k_violations(
+        dataset, k, relational_attributes, max_violations=max_violations
+    ):
+        violations.append(
+            KKmViolation(
+                kind="relational",
+                class_values=class_violation.values,
+                records=class_violation.records,
+            )
+        )
+        if full():
+            return violations
+    for values, indices in equivalence_classes(
+        dataset, relational_attributes
+    ).items():
+        subset = dataset.subset(indices)
+        remaining = None if max_violations is None else max_violations - len(violations)
+        for km_violation in km_violations(
+            subset,
+            k,
+            m,
+            attribute=transaction_attribute,
+            hierarchy=hierarchy,
+            universe=universe,
+            max_violations=remaining,
+        ):
+            violations.append(
+                KKmViolation(
+                    kind="transaction",
+                    class_values=values,
+                    records=tuple(indices[local] for local in km_violation.records),
+                    items=km_violation.items,
+                    support=km_violation.support,
+                )
+            )
+        if full():
+            return violations
+    return violations
+
+
 def is_k_km_anonymous(
     dataset: Dataset,
     k: int,
@@ -231,29 +375,19 @@ def is_k_km_anonymous(
 ) -> bool:
     """Whether an RT-dataset satisfies (k, k^m)-anonymity (Poulis et al. 2013).
 
-    The relational projection must be k-anonymous and the transaction
-    projection of *every relational equivalence class* must be k^m-anonymous,
-    so that an adversary combining demographics with up to ``m`` items still
-    faces at least ``k`` indistinguishable records.
+    An adversary combining demographics with up to ``m`` items must still
+    face at least ``k`` indistinguishable records.
     """
-    transaction_attribute = (
-        transaction_attribute or dataset.single_transaction_attribute()
+    return not k_km_violations(
+        dataset,
+        k,
+        m,
+        relational_attributes=relational_attributes,
+        transaction_attribute=transaction_attribute,
+        hierarchy=hierarchy,
+        universe=universe,
+        max_violations=1,
     )
-    if not is_k_anonymous(dataset, k, relational_attributes):
-        return False
-    groups = equivalence_classes(dataset, relational_attributes)
-    for indices in groups.values():
-        subset = dataset.subset(indices)
-        if not is_km_anonymous(
-            subset,
-            k,
-            m,
-            attribute=transaction_attribute,
-            hierarchy=hierarchy,
-            universe=universe,
-        ):
-            return False
-    return True
 
 
 def privacy_report(
@@ -264,7 +398,12 @@ def privacy_report(
     transaction_attribute: str | None = None,
     hierarchy: Hierarchy | None = None,
 ) -> dict:
-    """A compact report of the privacy status of an anonymized dataset."""
+    """A compact report of the privacy status of an anonymized dataset.
+
+    Failed guarantees come with a counterexample: ``k_witness`` (the first
+    undersized equivalence class) and ``km_witness`` (the first isolating
+    item combination) point at the concrete records at risk.
+    """
     report: dict = {"records": len(dataset), "k": k}
     has_relational = bool(
         relational_attributes
@@ -274,9 +413,21 @@ def privacy_report(
     if has_relational:
         report["min_class_size"] = min_class_size(dataset, relational_attributes)
         report["k_anonymous"] = report["min_class_size"] >= k
+        if not report["k_anonymous"]:
+            report["k_witness"] = k_violations(
+                dataset, k, relational_attributes, max_violations=1
+            )[0]
     if m is not None and dataset.schema.transaction_names:
         report["m"] = m
-        report["km_anonymous"] = is_km_anonymous(
-            dataset, k, m, attribute=transaction_attribute, hierarchy=hierarchy
+        km_witnesses = km_violations(
+            dataset,
+            k,
+            m,
+            attribute=transaction_attribute,
+            hierarchy=hierarchy,
+            max_violations=1,
         )
+        report["km_anonymous"] = not km_witnesses
+        if km_witnesses:
+            report["km_witness"] = km_witnesses[0]
     return report

@@ -100,6 +100,7 @@ def generate_query_workload(
     range_width: float = 0.25,
     seed: int = 0,
     name: str | None = None,
+    rng: np.random.Generator | None = None,
 ) -> QueryWorkload:
     """Generate a workload of COUNT queries grounded in the data.
 
@@ -115,12 +116,15 @@ def generate_query_workload(
     full-size workloads.  Only when the attempt budget is exhausted may the
     workload come back smaller than ``n_queries`` (it is never empty — that
     raises :class:`~repro.exceptions.QueryError`).
+
+    Pass an explicit ``numpy.random.Generator`` as ``rng`` to draw from a
+    shared stream instead of the per-``seed`` one (``seed`` is then ignored).
     """
     if n_queries <= 0:
         raise QueryError("n_queries must be positive")
     if not 0 < range_width <= 1:
         raise QueryError("range_width must be in (0, 1]")
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
 
     if relational_attributes is None:
         relational_attributes = [

@@ -1,0 +1,143 @@
+"""Guarantee-conformance suite: empirical privacy of every anonymizer.
+
+For every anonymizer × adversarial generator pairing, the simulated
+prior-knowledge adversary must observe an empirical guarantee at least as
+strong as the promised one — ``k̂ >= k`` against the knowledge model the
+algorithm actually protects against:
+
+* ``cluster`` (relational k-anonymity) → the QI adversary,
+* ``coat`` / ``pcta`` (constraint-based; the default privacy policy protects
+  *single* items) → the 1-item adversary,
+* ``apriori`` (hierarchy-based blanket k^m) → the m-item adversary,
+* RT bounding (``cluster`` + ``apriori``) → the combined QI + m-item
+  adversary of the (k, k^m) model.
+
+A deliberately weakened "anonymizer" must be *caught*: the attack reports
+``k̂ < k`` with concrete witness records, and the analytic checkers
+(:mod:`repro.metrics.privacy_checks`) corroborate with their own
+counterexamples.  See ``docs/validation.md``.
+"""
+
+import pytest
+
+from repro.attacks import item_attack, qi_attack, rt_attack
+from repro.datasets.generators import (
+    ADVERSARIAL_GENERATORS,
+    generate_outlier_rt,
+)
+from repro.engine.config import relational_config, rt_config, transaction_config
+from repro.frontend.session import Session
+from repro.metrics import k_violations, equivalence_classes
+
+K = 3
+GENERATOR_PARAMS = dict(n_records=80, n_items=16, seed=23)
+
+#: anonymizer id -> (configuration, attacks whose empirical k must reach k).
+CONFORMANCE_MATRIX = {
+    "cluster": (relational_config("cluster", k=K), ("qi",)),
+    "coat": (transaction_config("coat", k=K, m=1), ("item",)),
+    "pcta": (transaction_config("pcta", k=K, m=1), ("item",)),
+    "rt-bounding": (rt_config("cluster", "apriori", k=K, m=2), ("qi", "item", "rt")),
+}
+
+
+def generated(name):
+    return ADVERSARIAL_GENERATORS[name](**GENERATOR_PARAMS)
+
+
+@pytest.mark.parametrize("generator", sorted(ADVERSARIAL_GENERATORS))
+@pytest.mark.parametrize("anonymizer", sorted(CONFORMANCE_MATRIX))
+def test_empirical_guarantee_holds(anonymizer, generator):
+    config, attacked = CONFORMANCE_MATRIX[anonymizer]
+    session = Session(generated(generator))
+    report = session.evaluate(config, simulate_attacks=True)
+    assert set(attacked) <= set(report.attacks), report.attacks.keys()
+    for attack_name in attacked:
+        attack = report.attacks[attack_name]
+        assert not attack.truncated
+        assert attack.empirical_k is not None, f"{attack_name} found no candidates"
+        assert attack.empirical_k >= K, (
+            f"{anonymizer} on {generator}: {attack_name} adversary observed "
+            f"k̂ = {attack.empirical_k} < {K} "
+            f"(records {attack.worst_records}, knowledge {attack.worst_knowledge})"
+        )
+
+
+@pytest.mark.parametrize("generator", sorted(ADVERSARIAL_GENERATORS))
+def test_hierarchy_based_km_promise_at_m2(generator):
+    """Apriori's blanket k^m promise holds for pairs of known items."""
+    session = Session(generated(generator))
+    report = session.evaluate(
+        transaction_config("apriori", k=K, m=2), simulate_attacks=True
+    )
+    attack = report.attacks["item"]
+    assert attack.empirical_k is not None and attack.empirical_k >= K
+
+
+class TestWeakenedAnonymizerIsCaught:
+    """A broken anonymizer must produce a failing attack *with a witness*."""
+
+    @pytest.fixture
+    def original(self):
+        # Outliers make some QI tuples unique: leaking them is detectable.
+        return generate_outlier_rt(**GENERATOR_PARAMS, outlier_fraction=0.1)
+
+    def identity_anonymizer(self, dataset):
+        """The maximally weakened anonymizer: publishes the input verbatim."""
+        return dataset.copy()
+
+    def test_identity_anonymizer_fails_qi_attack(self, original):
+        published = self.identity_anonymizer(original)
+        attack = qi_attack(original, published)
+        assert attack.empirical_k == 1
+        assert attack.max_risk == 1.0
+        assert attack.worst_records, "a failing attack must name its victims"
+        # The analytic checker corroborates with the same class of witnesses.
+        analytic = k_violations(published, K, max_violations=None)
+        assert analytic
+        violated = {index for violation in analytic for index in violation.records}
+        assert set(attack.worst_records) <= violated
+
+    def test_leaking_one_class_is_caught_with_witnesses(self, original):
+        """De-generalizing a single equivalence class breaks k̂ locally."""
+        session = Session(original)
+        report = session.evaluate(relational_config("cluster", k=K))
+        assert report.privacy["k_anonymous"]
+        published = report.anonymized.copy()
+        attributes = [
+            attribute.name
+            for attribute in original.schema.relational
+            if attribute.quasi_identifier
+        ]
+        # Pick a class whose original QI tuples are pairwise distinct, then
+        # leak it: republish those records with their original values.
+        leaked = None
+        for _, indices in equivalence_classes(published, attributes).items():
+            tuples = {
+                tuple(original[index][name] for name in attributes)
+                for index in indices
+            }
+            if len(tuples) == len(indices):
+                leaked = indices
+                break
+        assert leaked is not None
+        for index in leaked:
+            for name in attributes:
+                published.set_value(index, name, original[index][name])
+
+        attack = qi_attack(original, published)
+        assert attack.empirical_k is not None and attack.empirical_k < K
+        assert set(attack.worst_records) <= set(leaked)
+        analytic = k_violations(published, K, attributes, max_violations=None)
+        violated = {index for violation in analytic for index in violation.records}
+        assert set(attack.worst_records) <= violated
+
+    def test_weakened_item_side_is_caught(self, original):
+        """Publishing raw baskets exposes records through rare items."""
+        published = self.identity_anonymizer(original)
+        attack = item_attack(original, published, m=1)
+        assert attack.empirical_k == 1
+        assert attack.worst_knowledge is not None
+        # The witness knowledge is a genuinely isolating item.
+        rt = rt_attack(original, published, m=1)
+        assert rt.empirical_k == 1

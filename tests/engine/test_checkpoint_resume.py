@@ -60,6 +60,7 @@ def fingerprint(sweep_result) -> list[tuple]:
             report.are,
             report.generalized_value_frequencies,
             report.item_frequency_errors,
+            report.attacks,
         )
         for report in sweep_result.reports
     ]
@@ -78,11 +79,14 @@ KILL_SCRIPT = textwrap.dedent(
     )
 
     directory, kill_after = sys.argv[1], int(sys.argv[2])
+    simulate_attacks = bool(int(sys.argv[3]))
     dataset = generate_rt_dataset(n_records=80, n_items=16, seed=41)
     store = CheckpointStore(
         directory, faults=CheckpointFaults(kill_after_store=kill_after)
     )
-    experiment = VaryingParameterExperiment(dataset, checkpoint=store)
+    experiment = VaryingParameterExperiment(
+        dataset, checkpoint=store, simulate_attacks=simulate_attacks
+    )
     experiment.run(
         transaction_config("coat", k=3, m=2),
         ParameterSweep("k", (3, 4, 5, 6, 7, 8, 9, 10)),
@@ -92,7 +96,9 @@ KILL_SCRIPT = textwrap.dedent(
 )
 
 
-def run_killed_sweep(directory: Path, kill_after: int) -> None:
+def run_killed_sweep(
+    directory: Path, kill_after: int, simulate_attacks: bool = False
+) -> None:
     repo_root = Path(__file__).resolve().parents[2]
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -100,7 +106,14 @@ def run_killed_sweep(directory: Path, kill_after: int) -> None:
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
     result = subprocess.run(
-        [sys.executable, "-c", KILL_SCRIPT, str(directory), str(kill_after)],
+        [
+            sys.executable,
+            "-c",
+            KILL_SCRIPT,
+            str(directory),
+            str(kill_after),
+            str(int(simulate_attacks)),
+        ],
         capture_output=True,
         text=True,
         cwd=repo_root,
@@ -154,6 +167,53 @@ def test_sigkill_mid_sweep_resumes_byte_identical(tmp_path, dataset, kill_after)
     )
     assert fingerprint(final) == reference
     assert final.run_report.checkpoint_counts()["hit"] == len(CHAOS_SWEEP)
+
+
+def test_sigkill_attack_sweep_resumes_byte_identical(tmp_path, dataset):
+    """The same durability contract with attack simulation folded into the
+    cells: the killed-then-resumed sweep serves the attacked reports —
+    AttackResult values included — byte-identical to an uninterrupted run."""
+    config = transaction_config("coat", k=3, m=2)
+    reference = fingerprint(
+        VaryingParameterExperiment(dataset, simulate_attacks=True).run(
+            config, CHAOS_SWEEP
+        )
+    )
+    assert all(entry[-1] for entry in reference)  # attacks in every report
+
+    directory = tmp_path / "ckpt"
+    run_killed_sweep(directory, 4, simulate_attacks=True)
+    store = CheckpointStore(directory)
+    assert len(store.keys()) == 4
+
+    resumed = VaryingParameterExperiment(
+        dataset, checkpoint=store, simulate_attacks=True
+    ).run(config, CHAOS_SWEEP)
+    assert fingerprint(resumed) == reference
+    assert resumed.run_report.checkpoint_counts() == {
+        "hit": 4, "miss": 4, "corrupt": 0,
+    }
+
+
+def test_attack_flag_partitions_the_key_space(tmp_path, dataset):
+    """Cells computed without attack simulation are never served to a run
+    that expects attacked reports (and vice versa): the flag is part of the
+    content-addressed key."""
+    config = transaction_config("coat", k=3, m=2)
+    sweep = ParameterSweep("k", (3, 4))
+    store = CheckpointStore(tmp_path / "ckpt")
+
+    VaryingParameterExperiment(dataset, checkpoint=store).run(config, sweep)
+    assert len(store.keys()) == 2
+
+    attacked = VaryingParameterExperiment(
+        dataset, checkpoint=store, simulate_attacks=True
+    ).run(config, sweep)
+    assert attacked.run_report.checkpoint_counts() == {
+        "hit": 0, "miss": 2, "corrupt": 0,
+    }
+    assert len(store.keys()) == 4
+    assert all(report.attacks for report in attacked.reports)
 
 
 def test_resume_in_process_mode_serves_hits_and_leaks_nothing(tmp_path, dataset):

@@ -61,15 +61,18 @@ def fingerprint(sweep_result) -> list[tuple]:
             report.are,
             report.generalized_value_frequencies,
             report.item_frequency_errors,
+            report.attacks,
         )
         for report in sweep_result.reports
     ]
 
 
-def run_in_mode(dataset, config, mode: str):
+def run_in_mode(dataset, config, mode: str, simulate_attacks: bool = False):
     # A fresh experiment (and freshly generated resources) per mode: nothing
     # may leak between executions through shared resource objects.
-    experiment = VaryingParameterExperiment(dataset, mode=mode, max_workers=2)
+    experiment = VaryingParameterExperiment(
+        dataset, mode=mode, max_workers=2, simulate_attacks=simulate_attacks
+    )
     return experiment.run(config, SWEEP)
 
 
@@ -80,6 +83,25 @@ def test_modes_produce_identical_results(dataset, config):
         assert fingerprint(run_in_mode(dataset, config, mode)) == reference, (
             f"{mode} mode diverged from sequential for {config.display_label}"
         )
+
+
+def test_attack_simulation_is_identical_across_modes(dataset):
+    """Simulated attacks (AttackResult dataclasses included) never depend on
+    the execution mode: the RT configuration runs all three adversaries in
+    every mode and the full fingerprints — match sizes, empirical k,
+    witnesses — must be equal."""
+    config = rt_config("cluster", "apriori", k=3, m=2, delta=0.5)
+    reference = run_in_mode(dataset, config, "sequential", simulate_attacks=True)
+    assert all(
+        sorted(report.attacks) == ["item", "qi", "rt"]
+        for report in reference.reports
+    )
+    expected = fingerprint(reference)
+    for mode in MODES[1:]:
+        assert (
+            fingerprint(run_in_mode(dataset, config, mode, simulate_attacks=True))
+            == expected
+        ), f"{mode} mode diverged from sequential with attacks enabled"
 
 
 def test_persistent_pool_matches_sequential_across_sweeps(dataset):
@@ -198,6 +220,31 @@ def test_faulted_sweep_is_byte_identical_to_sequential(dataset, plan, task_timeo
     for name in segments:
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)
+
+
+def test_faulted_attack_sweep_is_byte_identical_to_sequential(dataset):
+    """Fault recovery may replay sweep points; replayed attack simulations
+    must reproduce the exact same AttackResult values."""
+    plan = FaultPlan.build((2, 0, "crash"), (5, 0, "exit137"))
+    config = transaction_config("coat", k=3, m=2)
+    reference = fingerprint(
+        VaryingParameterExperiment(
+            dataset, mode="sequential", simulate_attacks=True
+        ).run(config, CHAOS_SWEEP)
+    )
+    assert all(entry[-1] for entry in reference)  # attacks actually ran
+    with WorkerPool(max_workers=2) as pool:
+        experiment = VaryingParameterExperiment(
+            dataset,
+            mode="process",
+            pool=pool,
+            policy=chaos_policy(plan, None),
+            simulate_attacks=True,
+        )
+        faulted = experiment.run(config, CHAOS_SWEEP)
+    assert fingerprint(faulted) == reference
+    report = faulted.run_report
+    assert report is not None and all(task.completed for task in report.tasks)
 
 
 def test_chaos_storm_pcta_sweep_survives_multiple_faults(dataset):
