@@ -7,7 +7,13 @@ the enclosing symbol and the normalized source line — so they survive
 unrelated line-number drift but expire as soon as the offending line itself
 changes (at which point the finding resurfaces and must be re-justified or
 fixed).  Every entry carries a human reason; ``--write-baseline`` refuses to
-invent one, stamping ``TODO: justify or fix`` for a reviewer to replace.
+run without ``--reason``, so a baseline can never be born unjustified.
+
+Format history: version 1 files (PR 7) carried the same entry shape;
+version 2 additionally records the fingerprint recipe so a future change to
+the hashed fields is detectable instead of silently expiring every entry.
+Version-1 files are migrated in memory on load — fingerprints and reasons
+carry over byte-identically — and rewritten as version 2 on the next save.
 """
 
 from __future__ import annotations
@@ -24,7 +30,16 @@ from repro.exceptions import AnalysisError
 #: Default baseline location, relative to the analysis root.
 DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Versions the loader accepts; anything older than current is migrated in
+#: memory (the fingerprint recipe is unchanged since v1, so entries and
+#: their reasons carry over verbatim).
+_READABLE_VERSIONS = frozenset({1, 2})
+
+#: The fields hashed into a fingerprint, recorded in v2 files so a future
+#: recipe change is an explicit migration, not a silent mass-expiry.
+_FINGERPRINT_FIELDS = ("code", "path", "symbol", "normalized_line")
 
 
 def fingerprint(finding: Finding, lines: Mapping[str, list[str]] | None = None, line_text: str = "") -> str:
@@ -67,10 +82,11 @@ class Baseline:
             raise AnalysisError(
                 f"cannot read baseline {baseline_path}: {error}"
             ) from error
-        if raw.get("version") != _FORMAT_VERSION:
+        if raw.get("version") not in _READABLE_VERSIONS:
             raise AnalysisError(
                 f"baseline {baseline_path} has unsupported version "
-                f"{raw.get('version')!r} (expected {_FORMAT_VERSION})"
+                f"{raw.get('version')!r} (expected one of "
+                f"{sorted(_READABLE_VERSIONS)})"
             )
         entries = []
         for item in raw.get("entries", []):
@@ -97,6 +113,7 @@ class Baseline:
         )
         payload = {
             "version": _FORMAT_VERSION,
+            "fingerprint_fields": list(_FINGERPRINT_FIELDS),
             "entries": [
                 {
                     "fingerprint": entry.fingerprint,
@@ -114,9 +131,9 @@ class Baseline:
     def from_findings(
         cls,
         findings_with_lines: Iterable[tuple[Finding, str]],
-        reason: str = "TODO: justify or fix",
+        reason: str,
     ) -> "Baseline":
-        """Baseline every (finding, source line) pair with a placeholder reason."""
+        """Baseline every (finding, source line) pair under one shared reason."""
         return cls(
             BaselineEntry(
                 fingerprint=fingerprint(finding, line_text=line_text),

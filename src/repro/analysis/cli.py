@@ -23,7 +23,7 @@ from repro.analysis.core import (
     rule_by_code,
 )
 from repro.analysis.manifest import InvariantManifest
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.reporting import render_json, render_sarif, render_text
 from repro.exceptions import AnalysisError
 
 
@@ -46,9 +46,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif emits a SARIF 2.1.0 log "
+        "for CI PR annotation",
     )
     parser.add_argument(
         "--verbose",
@@ -80,7 +81,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="write the current new findings to the baseline file and exit 0; "
-        "each entry gets a placeholder reason you must edit before committing",
+        "requires --reason to justify the grandfathering",
+    )
+    parser.add_argument(
+        "--reason",
+        default=None,
+        metavar="TEXT",
+        help="justification stamped on every entry --write-baseline creates "
+        "(required with --write-baseline; edit per-entry afterwards if the "
+        "findings deserve distinct justifications)",
     )
     parser.add_argument(
         "--explain",
@@ -177,16 +186,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
         )
         if args.write_baseline:
+            if not (args.reason or "").strip():
+                raise AnalysisError(
+                    "--write-baseline requires --reason: a baseline entry "
+                    "without a justification is exactly the silent exemption "
+                    "REP000 exists to prevent"
+                )
             entries = Baseline.from_findings(
-                (finding, _line_text(root, finding, lines_by_path))
-                for finding in report.new_findings
-                if finding.code != "REP000"
+                (
+                    (finding, _line_text(root, finding, lines_by_path))
+                    for finding in report.new_findings
+                    if finding.code != "REP000"
+                ),
+                reason=args.reason.strip(),
             )
             entries.save(baseline_path)
             print(
                 f"wrote {len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "
-                f"to {baseline_path}; replace the placeholder reasons before "
-                f"committing"
+                f"to {baseline_path}"
             )
             return 0
         if not args.no_baseline:
@@ -199,6 +216,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report, verbose=args.verbose))
     return report.exit_code

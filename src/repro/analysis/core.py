@@ -14,10 +14,13 @@ import ast
 import re
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.analysis.manifest import InvariantManifest
 from repro.exceptions import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.graph import ProjectGraph
 
 #: ``# repro: allow[REP001] -- reason`` (also accepts ``:`` or an em-dash
 #: before the reason, and a comma-separated code list).
@@ -205,9 +208,20 @@ class Project:
         self.manifest = manifest
         self._by_relpath = {module.relpath: module for module in self.modules}
         self._symbol_cache: dict[str, frozenset[str] | None] = {}
+        self._graph: object | None = None
 
     def module(self, relpath: str) -> ModuleContext | None:
         return self._by_relpath.get(relpath)
+
+    def graph(self) -> "ProjectGraph":
+        """The project's call graph, built lazily and shared across rules."""
+        from repro.analysis.graph import ProjectGraph
+
+        if self._graph is None:
+            self._graph = ProjectGraph.build(self)
+        if not isinstance(self._graph, ProjectGraph):
+            raise AnalysisError("Project.graph cache holds a non-graph value")
+        return self._graph
 
     def symbols_in(self, relpath: str) -> frozenset[str] | None:
         """Top-level defined names of ``relpath`` (``None`` if unreadable).

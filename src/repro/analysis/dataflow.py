@@ -1,0 +1,1262 @@
+"""Per-function dataflow: CFG, reaching definitions, escape/taint lattices.
+
+This is the analysis half of the interprocedural engine (the structural half
+— call resolution — lives in :mod:`repro.analysis.graph`).  It provides:
+
+* a **control-flow graph** per function (:func:`build_cfg`) with explicit
+  exception edges: every statement that may raise gets an edge to the
+  innermost handler/finally (or to the synthetic raise-exit), which is what
+  lets REP009 reason about "a crash between acquisition and cleanup";
+* **reaching definitions** (:class:`ReachingDefinitions`) over that CFG,
+  used by REP011 to trace a kernel argument back to its construction sites;
+* a **resource escape analysis** (:class:`ResourceAnalysis`) — a small
+  may-analysis over the lattice ``ACQ < {REL, ESC}`` per resource token,
+  where a token still ``ACQ`` at any exit is a potential leak;
+* **function summaries** (:class:`FunctionSummary`) — which parameters a
+  function releases/adopts, whether it returns a fresh resource or a
+  snapshot, which datasets it mutates, and which dtypes its parameters must
+  carry — propagated over the call graph to a fixpoint
+  (:func:`compute_summaries`) so the per-function analyses see through
+  helper calls.
+
+All of it is pure ``ast`` + stdlib, like the rest of the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
+
+from repro.analysis.graph import CallSite, FunctionInfo, ProjectGraph, call_name
+from repro.exceptions import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.core import Project
+    from repro.analysis.manifest import InvariantManifest
+
+# ---------------------------------------------------------------------------
+# Control-flow graph
+
+
+@dataclass
+class CFGNode:
+    """One node of a function's control-flow graph."""
+
+    index: int
+    stmt: ast.stmt | None  # None for synthetic entry/exit/dispatch nodes
+    kind: str  # "entry" | "exit" | "raise" | "stmt" | "branch" | "with" | "dispatch"
+    succ: list[int] = field(default_factory=list)
+    #: Exception successors: taken when the statement raises.
+    exc: list[int] = field(default_factory=list)
+
+
+class CFG:
+    """Control-flow graph of one function body.
+
+    Three synthetic nodes always exist: ``entry`` (0), ``exit`` (1, normal
+    returns and fall-through) and ``raise_exit`` (2, uncaught exceptions).
+    """
+
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        self.raise_exit = self._new(None, "raise")
+
+    def _new(self, stmt: ast.stmt | None, kind: str) -> int:
+        node = CFGNode(index=len(self.nodes), stmt=stmt, kind=kind)
+        self.nodes.append(node)
+        return node.index
+
+    def node(self, index: int) -> CFGNode:
+        return self.nodes[index]
+
+    def statement_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+
+@dataclass
+class _LoopContext:
+    head: int
+    breaks: list[int] = field(default_factory=list)
+
+
+class _CFGBuilder:
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.cfg = CFG()
+        self.fn = fn
+
+    def build(self) -> CFG:
+        frontier = self._body(
+            self.fn.body, {self.cfg.entry}, self.cfg.raise_exit, None
+        )
+        for index in frontier:
+            self.cfg.node(index).succ.append(self.cfg.exit)
+        return self.cfg
+
+    # -- helpers --------------------------------------------------------------
+    def _statement(
+        self,
+        stmt: ast.stmt,
+        kind: str,
+        frontier: set[int],
+        exc_target: int,
+    ) -> int:
+        index = self.cfg._new(stmt, kind)
+        for pred in frontier:
+            self.cfg.node(pred).succ.append(index)
+        # Only the parts this node itself executes decide whether it can
+        # raise: an If's body belongs to the body's own nodes.
+        if any(_may_raise(part) for part in executed_parts(self.cfg.node(index))):
+            self.cfg.node(index).exc.append(exc_target)
+        return index
+
+    def _body(
+        self,
+        stmts: Sequence[ast.stmt],
+        frontier: set[int],
+        exc_target: int,
+        loop: _LoopContext | None,
+    ) -> set[int]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self._dispatch(stmt, frontier, exc_target, loop)
+        return frontier
+
+    def _dispatch(
+        self,
+        stmt: ast.stmt,
+        frontier: set[int],
+        exc_target: int,
+        loop: _LoopContext | None,
+    ) -> set[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            test = self._statement(stmt, "branch", frontier, exc_target)
+            then = self._body(stmt.body, {test}, exc_target, loop)
+            orelse = self._body(stmt.orelse, {test}, exc_target, loop)
+            return then | orelse
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self._statement(stmt, "branch", frontier, exc_target)
+            context = _LoopContext(head=head)
+            body = self._body(stmt.body, {head}, exc_target, context)
+            for index in body:
+                cfg.node(index).succ.append(head)
+            after = self._body(stmt.orelse, {head}, exc_target, loop)
+            return after | set(context.breaks) | ({head} if not stmt.orelse else set())
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier, exc_target, loop)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            enter = self._statement(stmt, "with", frontier, exc_target)
+            return self._body(stmt.body, {enter}, exc_target, loop)
+        if isinstance(stmt, ast.Return):
+            index = self._statement(stmt, "stmt", frontier, exc_target)
+            cfg.node(index).succ.append(cfg.exit)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            index = self._statement(stmt, "stmt", frontier, exc_target)
+            cfg.node(index).succ.append(exc_target)
+            return set()
+        if isinstance(stmt, ast.Break):
+            index = self._statement(stmt, "stmt", frontier, exc_target)
+            if loop is not None:
+                loop.breaks.append(index)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            index = self._statement(stmt, "stmt", frontier, exc_target)
+            if loop is not None:
+                cfg.node(index).succ.append(loop.head)
+            return set()
+        # Plain statement (including nested defs, which are opaque here).
+        return {self._statement(stmt, "stmt", frontier, exc_target)}
+
+    def _try(
+        self,
+        stmt: ast.Try,
+        frontier: set[int],
+        exc_target: int,
+        loop: _LoopContext | None,
+    ) -> set[int]:
+        cfg = self.cfg
+        dispatch = cfg._new(None, "dispatch")
+        inner_target = dispatch if (stmt.handlers or stmt.finalbody) else exc_target
+        body = self._body(stmt.body, frontier, inner_target, loop)
+        normal = self._body(stmt.orelse, body, exc_target, loop) if stmt.orelse else body
+
+        handler_exits: set[int] = set()
+        handler_exc = exc_target
+        if stmt.finalbody:
+            handler_exc = dispatch  # handler failure still runs finally
+        for handler in stmt.handlers:
+            handler_exits |= self._body(
+                handler.body, {dispatch}, handler_exc, loop
+            )
+
+        if stmt.finalbody:
+            sources = normal | handler_exits | {dispatch}
+            final = self._body(stmt.finalbody, sources, exc_target, loop)
+            # The exception-continuation path: finally may complete and the
+            # pending exception keeps propagating.
+            for index in final:
+                cfg.node(index).exc.append(exc_target)
+            return final
+        # No finally: an exception no handler matches keeps propagating.
+        cfg.node(dispatch).succ.append(exc_target)
+        return normal | handler_exits
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function body."""
+    return _CFGBuilder(fn).build()
+
+
+def executed_parts(node: CFGNode) -> list[ast.AST]:
+    """The sub-trees a CFG node itself executes.
+
+    A compound statement's node only evaluates its header (an If's test, a
+    For's iterable, a With's context expressions); the body statements have
+    their own nodes.  Simple statements execute whole.
+    """
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if node.kind == "branch":
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+    if node.kind == "with" and isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    return [stmt]
+
+
+def _may_raise(node: ast.AST) -> bool:
+    """Whether executing a sub-tree can transfer control to a handler.
+
+    Conservative but useful approximation: calls and asserts raise; pure
+    assignments, constants and name rebindings do not.  This is what makes
+    ``x = acquire(); x.close()`` clean while ``x = acquire(); work(); ...``
+    needs a ``finally``.
+    """
+    if isinstance(node, (ast.Assert, ast.Raise)):
+        return True
+    for inner in _walk_executed(node):
+        if isinstance(inner, (ast.Call, ast.Await, ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _walk_executed(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk an AST without descending into nested function/class bodies."""
+    stack: list[ast.AST] = [root]
+    first = True
+    while stack:
+        node = stack.pop()
+        if not first and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        first = False
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def walk_executed(root: ast.AST) -> Iterator[ast.AST]:
+    """Public walk over the nodes a statement executes (nested defs opaque)."""
+    return _walk_executed(root)
+
+
+def calls_in(stmt: ast.AST) -> Iterator[ast.Call]:
+    """Calls executed by a statement (nested defs/lambdas excluded)."""
+    for node in _walk_executed(stmt):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def binding_key(expr: ast.expr) -> str | None:
+    """The alias-tracking key of an expression: a name or a dotted chain.
+
+    ``seg`` -> ``"seg"``; ``self._segment`` -> ``"self._segment"``;
+    anything else (subscripts, calls) -> ``None``.
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id
+    parts: list[str] = []
+    current: ast.expr = expr
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Generic forward fixpoint
+
+
+def forward_fixpoint(
+    cfg: CFG,
+    initial: dict[str, object],
+    transfer: "TransferFn",
+) -> dict[int, dict[str, object]]:
+    """Run a forward dataflow to fixpoint; returns the IN state per node.
+
+    ``transfer(node, state)`` returns ``(normal_out, exception_out)``.
+    States are mappings var -> frozenset of facts; join is pointwise union.
+    """
+    in_states: dict[int, dict[str, object]] = {cfg.entry: initial}
+    worklist: list[int] = [cfg.entry]
+    while worklist:
+        index = worklist.pop()
+        node = cfg.node(index)
+        state = in_states.get(index, {})
+        normal, exceptional = transfer(node, state)
+        for target, out in [(succ, normal) for succ in node.succ] + [
+            (succ, exceptional) for succ in node.exc
+        ]:
+            merged = _join(in_states.get(target), out)
+            if merged != in_states.get(target):
+                in_states[target] = merged
+                worklist.append(target)
+    return in_states
+
+
+if TYPE_CHECKING:
+    from typing import Callable
+
+    TransferFn = Callable[
+        [CFGNode, dict[str, object]],
+        tuple[dict[str, object], dict[str, object]],
+    ]
+
+
+def _join(
+    left: dict[str, object] | None, right: dict[str, object]
+) -> dict[str, object]:
+    if left is None:
+        return dict(right)
+    merged = dict(left)
+    for key, value in right.items():
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = value
+        elif isinstance(existing, frozenset) and isinstance(value, frozenset):
+            merged[key] = existing | value
+        elif existing != value:
+            merged[key] = existing if existing is not None else value
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+
+
+class ReachingDefinitions:
+    """Which assignment nodes may define each variable at each point."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._defs_by_node: dict[int, frozenset[str]] = {}
+        for node in cfg.statement_nodes():
+            names = frozenset(self._defined_names(node))
+            if names:
+                self._defs_by_node[node.index] = names
+        self._in_states = forward_fixpoint(cfg, {}, self._transfer)
+
+    def _defined_names(self, node: CFGNode) -> Iterator[str]:
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                yield from _target_names(target)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            yield from _target_names(stmt.target)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            yield from _target_names(stmt.target)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    yield from _target_names(item.optional_vars)
+        for part in executed_parts(node):
+            for inner in _walk_executed(part):
+                if isinstance(inner, ast.NamedExpr) and isinstance(
+                    inner.target, ast.Name
+                ):
+                    yield inner.target.id
+
+    def _transfer(
+        self, node: CFGNode, state: dict[str, object]
+    ) -> tuple[dict[str, object], dict[str, object]]:
+        defined = self._defs_by_node.get(node.index)
+        if not defined:
+            return state, state
+        out = dict(state)
+        for name in defined:
+            out[name] = frozenset({node.index})
+        # Exception edges carry the pre-state: the assignment may not have
+        # completed when the right-hand side raised.
+        return out, state
+
+    def definitions_at(self, node_index: int) -> dict[str, frozenset[int]]:
+        """var -> node indices of assignments reaching the node's entry."""
+        state = self._in_states.get(node_index, {})
+        return {
+            name: value
+            for name, value in state.items()
+            if isinstance(value, frozenset)
+        }
+
+    def defining_statements(
+        self, node_index: int, name: str
+    ) -> list[ast.stmt]:
+        result = []
+        for index in self.definitions_at(node_index).get(name, frozenset()):
+            stmt = self.cfg.node(index).stmt
+            if stmt is not None:
+                result.append(stmt)
+        return result
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+# ---------------------------------------------------------------------------
+# Function summaries
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What a function does to its arguments, as seen from call sites."""
+
+    #: Parameter indices guaranteed a cleanup sink on every path.
+    releases: frozenset[int] = frozenset()
+    #: Parameter indices whose ownership the function takes (stored into a
+    #: container, an attribute, or re-escaped) — the caller's duty ends.
+    escapes: frozenset[int] = frozenset()
+    #: Parameter index -> attribute name for ``self.<attr> = param`` adoption.
+    adopts: Mapping[int, str] = field(default_factory=dict)
+    #: The function returns a freshly acquired resource.
+    returns_resource: bool = False
+    #: Parameter indices the function (transitively) mutates.
+    mutates: frozenset[int] = frozenset()
+    #: The function returns a snapshot-derived value (REP010 sources).
+    returns_snapshot: bool = False
+    #: The function returns a nested function or lambda (REP006: the result
+    #: can never pickle under spawn).
+    returns_nested_function: bool = False
+    #: Parameter index -> dtypes required downstream (REP011 contracts).
+    dtype_requirements: Mapping[int, frozenset[str]] = field(default_factory=dict)
+
+
+class SummaryTable:
+    """Fixpoint summaries for every function in the project graph."""
+
+    def __init__(self) -> None:
+        self._summaries: dict[str, FunctionSummary] = {}
+
+    def get(self, fid: str | None) -> FunctionSummary | None:
+        if fid is None:
+            return None
+        return self._summaries.get(fid)
+
+    def set(self, fid: str, summary: FunctionSummary) -> bool:
+        """Store a summary; True when it changed."""
+        changed = self._summaries.get(fid) != summary
+        self._summaries[fid] = summary
+        return changed
+
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def items(self) -> Iterator[tuple[str, FunctionSummary]]:
+        yield from self._summaries.items()
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """The manifest-derived vocabulary of the resource analysis."""
+
+    #: Call names that acquire a leakable resource (beyond the built-in
+    #: ``SharedMemory(create=True)`` detection).
+    acquisition_calls: frozenset[str] = frozenset()
+    #: Names that release: as a method on the resource (``seg.close()``) or
+    #: as a callable taking it (``_unlink_quietly(tmp)``, ``os.replace(tmp, t)``).
+    cleanup_sinks: frozenset[str] = frozenset({"close", "unlink"})
+
+    def is_acquisition(
+        self, call: ast.Call, summary: FunctionSummary | None
+    ) -> bool:
+        if summary is not None and summary.returns_resource:
+            return True
+        name = call_name(call)
+        if name in self.acquisition_calls:
+            return True
+        if name == "SharedMemory":
+            for keyword in call.keywords:
+                if keyword.arg == "create":
+                    value = keyword.value
+                    return isinstance(value, ast.Constant) and value.value is True
+        return False
+
+
+def resource_model(manifest: "InvariantManifest") -> ResourceModel:
+    sinks = frozenset(manifest.rep009_cleanup_sinks) or frozenset(
+        {"close", "unlink"}
+    )
+    return ResourceModel(
+        acquisition_calls=frozenset(manifest.rep009_acquisition_calls),
+        cleanup_sinks=sinks,
+    )
+
+
+# Resource token facts.
+ACQ = "ACQ"
+REL = "REL"
+ESC = "ESC"
+
+_STATUS_PREFIX = "!tok:"
+
+
+@dataclass
+class ResourceOutcome:
+    """Result of one per-function resource analysis."""
+
+    #: token -> union of statuses over every exit (normal and raising).
+    exit_status: dict[int, frozenset[str]]
+    #: token -> acquisition call (None for parameter tokens).
+    acquisitions: dict[int, ast.Call | None]
+    #: token -> binding keys that still hold it at some exit.
+    exit_bindings: dict[int, set[str]]
+    #: tokens that escaped through a ``return``.
+    returned: set[int]
+    #: token -> ``self.<attr>`` adoption key observed at any point.
+    adopted: dict[int, str]
+
+    def leaked(self, token: int) -> bool:
+        return ACQ in self.exit_status.get(token, frozenset())
+
+
+class ResourceAnalysis:
+    """May-leak analysis over one function's CFG.
+
+    Tokens are integers: parameter tokens are their parameter index;
+    acquisition tokens are allocated per acquisition call expression.  The
+    state maps binding keys to token sets and, under reserved ``!tok:n``
+    keys, each token to its status set — so one :func:`forward_fixpoint`
+    drives both.
+    """
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        graph: ProjectGraph,
+        summaries: SummaryTable,
+        model: ResourceModel,
+        track_params: bool = True,
+    ) -> None:
+        self.info = info
+        self.graph = graph
+        self.summaries = summaries
+        self.model = model
+        self.track_params = track_params
+        self.cfg = build_cfg(info.node)
+        self._tokens: dict[int, int] = {}  # id(ast.Call) -> token
+        self._acquisitions: dict[int, ast.Call | None] = {}
+        self._next_token = len(info.params)
+        self._returned: set[int] = set()
+        self._adopted: dict[int, str] = {}
+        self._sites_by_call: dict[int, CallSite] = {
+            id(site.call): site for site in graph.call_sites(info.id)
+        }
+
+    # -- public ---------------------------------------------------------------
+    def run(self) -> ResourceOutcome:
+        initial: dict[str, object] = {}
+        if self.track_params:
+            for index, name in enumerate(self.info.params):
+                if name in ("self", "cls"):
+                    continue
+                initial[name] = frozenset({index})
+                initial[f"{_STATUS_PREFIX}{index}"] = frozenset({ACQ})
+                self._acquisitions[index] = None
+        in_states = forward_fixpoint(self.cfg, initial, self._transfer)
+        exit_status: dict[int, frozenset[str]] = {}
+        exit_bindings: dict[int, set[str]] = {}
+        for exit_index in (self.cfg.exit, self.cfg.raise_exit):
+            state = in_states.get(exit_index)
+            if state is None:
+                continue
+            for key, value in state.items():
+                if not isinstance(value, frozenset):
+                    continue
+                if key.startswith(_STATUS_PREFIX):
+                    token = int(key[len(_STATUS_PREFIX) :])
+                    exit_status[token] = exit_status.get(token, frozenset()) | value
+                else:
+                    for token_obj in value:
+                        token = int(token_obj)
+                        exit_bindings.setdefault(token, set()).add(key)
+        return ResourceOutcome(
+            exit_status=exit_status,
+            acquisitions=dict(self._acquisitions),
+            exit_bindings=exit_bindings,
+            returned=set(self._returned),
+            adopted=dict(self._adopted),
+        )
+
+    # -- state helpers --------------------------------------------------------
+    def _token_for(self, call: ast.Call) -> int:
+        token = self._tokens.get(id(call))
+        if token is None:
+            token = self._next_token
+            self._next_token += 1
+            self._tokens[id(call)] = token
+            self._acquisitions[token] = call
+        return token
+
+    @staticmethod
+    def _tokens_of(state: dict[str, object], key: str | None) -> frozenset[int]:
+        if key is None:
+            return frozenset()
+        value = state.get(key)
+        if isinstance(value, frozenset):
+            return frozenset(int(token) for token in value)
+        return frozenset()
+
+    @staticmethod
+    def _set_status(
+        state: dict[str, object], token: int, facts: frozenset[str]
+    ) -> None:
+        state[f"{_STATUS_PREFIX}{token}"] = facts
+
+    @staticmethod
+    def _mark(state: dict[str, object], tokens: Iterable[int], fact: str) -> None:
+        for token in tokens:
+            key = f"{_STATUS_PREFIX}{token}"
+            current = state.get(key)
+            if isinstance(current, frozenset) and ACQ in current:
+                state[key] = (current - {ACQ}) | {fact}
+            elif current is None:
+                state[key] = frozenset({fact})
+
+    # -- transfer -------------------------------------------------------------
+    def _transfer(
+        self, node: CFGNode, state: dict[str, object]
+    ) -> tuple[dict[str, object], dict[str, object]]:
+        stmt = node.stmt
+        if stmt is None:
+            return state, state
+        out = dict(state)
+        released = dict(state)  # pre-state plus releases only (exception edge)
+        parts = executed_parts(node)
+
+        # 1. releases and ownership transfers performed by the calls.  The
+        # exception edge also sees them: a sink that was *attempted* counts
+        # (its own failure is the sink's problem, not a leak).
+        for part in parts:
+            for call in calls_in(part):
+                for target_state in (out, released):
+                    self._apply_call_effects(call, target_state)
+
+        # 2. acquisitions + binding updates (normal edge only).
+        if node.kind == "with" and isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                for call in calls_in(item.context_expr):
+                    if self._acquires(call):
+                        token = self._token_for(call)
+                        # A context manager owns its resource: __exit__ runs
+                        # on every path out of the with-block.
+                        self._set_status(out, token, frozenset({REL}))
+                if item.optional_vars is not None:
+                    for name in _target_names(item.optional_vars):
+                        out.pop(name, None)
+        elif isinstance(stmt, ast.Assign):
+            self._transfer_assign(stmt.targets, stmt.value, out)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._transfer_assign([stmt.target], stmt.value, out)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._escape_value(stmt.value, out, returned=True)
+                self._acquire_into_escape(stmt.value, out, returned=True)
+        elif isinstance(stmt, ast.Expr):
+            self._acquire_unbound(stmt.value, out)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                key = binding_key(target)
+                if key is not None:
+                    out.pop(key, None)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for name in _target_names(stmt.target):
+                out.pop(name, None)
+            for part in parts:
+                self._acquire_unbound(part, out)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            pass
+        else:
+            for part in parts:
+                self._acquire_unbound(part, out)
+        return out, released
+
+    def _acquires(self, call: ast.Call) -> bool:
+        site = self._sites_by_call.get(id(call))
+        summary = self.summaries.get(site.callee) if site is not None else None
+        if site is not None and site.constructs is not None:
+            # Constructors own what they acquire; the instance's lifecycle
+            # is the class's problem (REP009 checks adoption separately).
+            return False
+        return self.model.is_acquisition(call, summary)
+
+    def _transfer_assign(
+        self,
+        targets: Sequence[ast.expr],
+        value: ast.expr,
+        out: dict[str, object],
+    ) -> None:
+        # Determine the token set carried by the right-hand side.
+        direct_call = value if isinstance(value, ast.Call) else None
+        source_key = binding_key(value)
+        tokens: frozenset[int] = frozenset()
+        if direct_call is not None and self._acquires(direct_call):
+            tokens = frozenset({self._token_for(direct_call)})
+            for token in tokens:
+                self._set_status(out, token, frozenset({ACQ}))
+        elif source_key is not None:
+            tokens = self._tokens_of(out, source_key)
+        else:
+            # Nested acquisitions not consumed by a summary stay unbound.
+            self._acquire_unbound(value, out, skip=direct_call)
+
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)) and direct_call is not None and tokens:
+                # ``fd, name = mkstemp()``: every facet of the acquisition
+                # shares the token — releasing any facet releases it.
+                for element in target.elts:
+                    key = binding_key(element)
+                    if key is not None:
+                        out[key] = tokens
+                continue
+            key = binding_key(target)
+            if key is None:
+                # Subscript/starred target: ownership moves to a container.
+                self._mark(out, tokens, ESC)
+                continue
+            if key != source_key:
+                out[key] = tokens if tokens else frozenset()
+            if "." in key and tokens:
+                attr = key.split(".", 1)[1]
+                root = key.split(".", 1)[0]
+                if root in ("self", "cls"):
+                    for token in tokens:
+                        self._adopted[token] = attr
+
+    def _acquire_unbound(
+        self,
+        root: ast.AST,
+        out: dict[str, object],
+        skip: ast.Call | None = None,
+    ) -> None:
+        for call in calls_in(root):
+            if call is skip or not self._acquires(call):
+                continue
+            token = self._token_for(call)
+            consumed = False
+            # The acquisition may be an argument of a consuming call.
+            for outer in calls_in(root):
+                if outer is call:
+                    continue
+                if any(arg is call for arg in outer.args) or any(
+                    kw.value is call for kw in outer.keywords
+                ):
+                    if self._consumes_argument(outer, call):
+                        consumed = True
+            if not consumed:
+                current = out.get(f"{_STATUS_PREFIX}{token}")
+                if not isinstance(current, frozenset) or ACQ not in current:
+                    if current is None or current == frozenset():
+                        self._set_status(out, token, frozenset({ACQ}))
+
+    def _consumes_argument(self, outer: ast.Call, arg: ast.Call) -> bool:
+        name = call_name(outer)
+        if name in self.model.cleanup_sinks or name == "finalize":
+            return True
+        site = self._sites_by_call.get(id(outer))
+        summary = self.summaries.get(site.callee) if site is not None else None
+        if summary is None:
+            return False
+        index = self._argument_index(outer, site, arg)
+        if index is None:
+            return False
+        return index in summary.releases or index in summary.escapes
+
+    def _argument_index(
+        self, call: ast.Call, site: CallSite | None, arg: ast.expr
+    ) -> int | None:
+        offset = 0
+        if site is not None and site.callee is not None:
+            callee = self.graph.function(site.callee)
+            if (
+                callee is not None
+                and callee.owner_class
+                and isinstance(call.func, ast.Attribute)
+            ):
+                offset = 1  # self is parameter 0
+            if site.constructs is not None:
+                offset = 1
+        for position, value in enumerate(call.args):
+            if value is arg:
+                return position + offset
+        if site is not None and site.callee is not None:
+            callee = self.graph.function(site.callee)
+            if callee is not None:
+                for keyword in call.keywords:
+                    if keyword.value is arg and keyword.arg is not None:
+                        return callee.param_index(keyword.arg)
+        return None
+
+    def _escape_value(
+        self, value: ast.expr, out: dict[str, object], returned: bool
+    ) -> None:
+        elements = (
+            value.elts if isinstance(value, (ast.Tuple, ast.List)) else [value]
+        )
+        for element in elements:
+            key = binding_key(element)
+            tokens = self._tokens_of(out, key)
+            self._mark(out, tokens, ESC)
+            if returned:
+                self._returned |= tokens
+
+    def _acquire_into_escape(
+        self, value: ast.expr, out: dict[str, object], returned: bool
+    ) -> None:
+        for call in calls_in(value):
+            if self._acquires(call):
+                token = self._token_for(call)
+                self._set_status(out, token, frozenset({ESC}))
+                if returned:
+                    self._returned.add(token)
+
+    def _apply_call_effects(self, call: ast.Call, state: dict[str, object]) -> None:
+        name = call_name(call)
+        # Method-style sink: ``seg.close()`` / ``self._segment.unlink()``.
+        if isinstance(call.func, ast.Attribute) and name in self.model.cleanup_sinks:
+            receiver = binding_key(call.func.value)
+            self._mark(state, self._tokens_of(state, receiver), REL)
+        # Callable-style sink and finalize guards: every bound argument.
+        if name in self.model.cleanup_sinks or name == "finalize":
+            for value in [*call.args, *(kw.value for kw in call.keywords)]:
+                self._mark(state, self._tokens_of(state, binding_key(value)), REL)
+        # Summary-based effects of resolved project callees.
+        site = self._sites_by_call.get(id(call))
+        summary = self.summaries.get(site.callee) if site is not None else None
+        if summary is None or (not summary.releases and not summary.escapes):
+            return
+        for value in [*call.args, *(kw.value for kw in call.keywords)]:
+            tokens = self._tokens_of(state, binding_key(value))
+            if not tokens:
+                continue
+            index = self._argument_index(call, site, value)
+            if index is None:
+                continue
+            if index in summary.releases:
+                self._mark(state, tokens, REL)
+            elif index in summary.escapes:
+                self._mark(state, tokens, ESC)
+        # The receiver of a resolved method call is parameter 0.
+        if isinstance(call.func, ast.Attribute):
+            receiver_tokens = self._tokens_of(state, binding_key(call.func.value))
+            if receiver_tokens:
+                if 0 in summary.releases:
+                    self._mark(state, receiver_tokens, REL)
+                elif 0 in summary.escapes:
+                    self._mark(state, receiver_tokens, ESC)
+
+
+# ---------------------------------------------------------------------------
+# Summary computation
+
+
+def _mentions_any(fn: ast.AST, names: frozenset[str]) -> bool:
+    for node in _walk_executed(fn):
+        if isinstance(node, ast.Attribute) and node.attr in names:
+            return True
+        if isinstance(node, ast.Name) and node.id in names:
+            return True
+    return False
+
+
+def _resource_relevant(
+    info: FunctionInfo, model: ResourceModel, interesting: frozenset[str]
+) -> bool:
+    """Cheap pre-filter: can this function's summary be non-trivial?"""
+    fn = info.node
+    if _mentions_any(fn, interesting):
+        return True
+    params = frozenset(info.params) - {"self", "cls"}
+    if not params:
+        return False
+    for node in _walk_executed(fn):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if _mentions_any(node.value, params):
+                return True
+        if isinstance(node, ast.Assign):
+            if any(not isinstance(t, ast.Name) for t in node.targets) and _mentions_any(
+                node.value, params
+            ):
+                return True
+    return False
+
+
+def _mutates_summary(
+    info: FunctionInfo,
+    graph: ProjectGraph,
+    summaries: SummaryTable,
+    mutators: frozenset[str],
+) -> frozenset[int]:
+    result: set[int] = set()
+    params = {name: index for index, name in enumerate(info.params)}
+    for site in graph.call_sites(info.id):
+        call = site.call
+        name = site.name
+        receiver = (
+            binding_key(call.func.value)
+            if isinstance(call.func, ast.Attribute)
+            else None
+        )
+        if name in mutators and receiver is not None:
+            root = receiver.split(".", 1)[0]
+            if root in params:
+                result.add(params[root])
+        summary = summaries.get(site.callee)
+        if summary is not None and summary.mutates:
+            callee = graph.function(site.callee) if site.callee else None
+            offset = (
+                1
+                if callee is not None
+                and callee.owner_class
+                and isinstance(call.func, ast.Attribute)
+                else 0
+            )
+            if offset and receiver is not None and 0 in summary.mutates:
+                root = receiver.split(".", 1)[0]
+                if root in params:
+                    result.add(params[root])
+            for position, value in enumerate(call.args):
+                if position + offset in summary.mutates and isinstance(
+                    value, ast.Name
+                ):
+                    if value.id in params:
+                        result.add(params[value.id])
+    return frozenset(result)
+
+
+def _returns_snapshot(
+    info: FunctionInfo,
+    graph: ProjectGraph,
+    summaries: SummaryTable,
+    sources: frozenset[str],
+) -> bool:
+    snapshot_calls: set[int] = set()
+    for site in graph.call_sites(info.id):
+        summary = summaries.get(site.callee)
+        if site.name in sources or (
+            summary is not None and summary.returns_snapshot
+        ):
+            snapshot_calls.add(id(site.call))
+    if not snapshot_calls:
+        return False
+    snapshot_vars: set[str] = set()
+    for node in _walk_executed(info.node):
+        if isinstance(node, ast.Assign):
+            if any(
+                id(call) in snapshot_calls for call in calls_in(node.value)
+            ):
+                for target in node.targets:
+                    snapshot_vars.update(_target_names(target))
+    for node in _walk_executed(info.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            for inner in _walk_executed(node.value):
+                if isinstance(inner, ast.Call) and id(inner) in snapshot_calls:
+                    return True
+                if isinstance(inner, ast.Name) and inner.id in snapshot_vars:
+                    return True
+    return False
+
+
+def _returns_nested_function(info: FunctionInfo) -> bool:
+    nested = {
+        node.name
+        for node in ast.walk(info.node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node is not info.node
+    }
+    for node in _walk_executed(info.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            value = node.value
+            if isinstance(value, ast.Lambda):
+                return True
+            if isinstance(value, ast.Name) and value.id in nested:
+                return True
+    return False
+
+
+def _dtype_requirements(
+    info: FunctionInfo,
+    graph: ProjectGraph,
+    summaries: SummaryTable,
+    contracts: Mapping[str, Mapping[int, frozenset[str]]],
+) -> dict[int, frozenset[str]]:
+    result: dict[int, frozenset[str]] = {}
+    params = {name: index for index, name in enumerate(info.params)}
+    for site in graph.call_sites(info.id):
+        if site.callee is None:
+            continue
+        required = contracts.get(site.callee)
+        if required is None:
+            summary = summaries.get(site.callee)
+            required = summary.dtype_requirements if summary is not None else None
+        if not required:
+            continue
+        callee = graph.function(site.callee)
+        offset = (
+            1
+            if callee is not None
+            and callee.owner_class
+            and isinstance(site.call.func, ast.Attribute)
+            else 0
+        )
+        for position, value in enumerate(site.call.args):
+            requirement = required.get(position + offset)
+            if requirement and isinstance(value, ast.Name) and value.id in params:
+                index = params[value.id]
+                result[index] = result.get(index, frozenset()) | requirement
+        for keyword in site.call.keywords:
+            if keyword.arg is None or callee is None:
+                continue
+            target = callee.param_index(keyword.arg)
+            if target is None:
+                continue
+            requirement = required.get(target)
+            if (
+                requirement
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id in params
+            ):
+                index = params[keyword.value.id]
+                result[index] = result.get(index, frozenset()) | requirement
+    return result
+
+
+def compute_summaries(
+    graph: ProjectGraph,
+    manifest: "InvariantManifest",
+    max_passes: int = 12,
+) -> SummaryTable:
+    """Propagate per-function summaries over the call graph to a fixpoint."""
+    model = resource_model(manifest)
+    mutators = frozenset(manifest.rep010_mutators)
+    sources = frozenset(manifest.rep010_snapshot_sources)
+    contracts = dtype_contracts(graph, manifest)
+    interesting = (
+        model.cleanup_sinks
+        | model.acquisition_calls
+        | frozenset({"finalize", "SharedMemory"})
+    )
+    table = SummaryTable()
+    relevant = {
+        fid: _resource_relevant(info, model, interesting)
+        for fid, info in graph.functions.items()
+    }
+    for _ in range(max_passes):
+        changed = False
+        for fid, info in graph.functions.items():
+            releases: frozenset[int] = frozenset()
+            escapes: frozenset[int] = frozenset()
+            adopts: dict[int, str] = {}
+            returns_resource = False
+            if relevant[fid]:
+                outcome = ResourceAnalysis(
+                    info, graph, table, model, track_params=True
+                ).run()
+                n_params = len(info.params)
+                for index, name in enumerate(info.params):
+                    if name in ("self", "cls"):
+                        continue
+                    status = outcome.exit_status.get(index, frozenset({ACQ}))
+                    if ACQ not in status and REL in status:
+                        releases |= {index}
+                    elif ACQ not in status and ESC in status:
+                        escapes |= {index}
+                    if index in outcome.adopted:
+                        adopts[index] = outcome.adopted[index]
+                        escapes |= {index}
+                returns_resource = any(
+                    token >= n_params for token in outcome.returned
+                )
+            summary = FunctionSummary(
+                releases=releases,
+                escapes=escapes,
+                adopts=adopts,
+                returns_resource=returns_resource,
+                mutates=_mutates_summary(info, graph, table, mutators),
+                returns_snapshot=_returns_snapshot(info, graph, table, sources),
+                returns_nested_function=_returns_nested_function(info),
+                dtype_requirements=_dtype_requirements(
+                    info, graph, table, contracts
+                ),
+            )
+            if table.set(fid, summary):
+                changed = True
+        if not changed:
+            break
+    return table
+
+
+def dtype_contracts(
+    graph: ProjectGraph, manifest: "InvariantManifest"
+) -> dict[str, dict[int, frozenset[str]]]:
+    """Resolve the manifest's REP011 contracts to function ids + indices."""
+    contracts: dict[str, dict[int, frozenset[str]]] = {}
+    for contract in manifest.dtype_contracts:
+        info = graph.function(contract.function)
+        if info is None:
+            continue
+        index = info.param_index(contract.param)
+        if index is None:
+            continue
+        per_function = contracts.setdefault(contract.function, {})
+        per_function[index] = per_function.get(index, frozenset()) | frozenset(
+            {contract.dtype}
+        )
+    return contracts
+
+
+def project_summaries(project: "Project") -> SummaryTable:
+    """The cached summary table of one analysis run."""
+    graph = project.graph()
+    if graph.summary_cache is None:
+        graph.summary_cache = compute_summaries(graph, project.manifest)
+    if not isinstance(graph.summary_cache, SummaryTable):
+        raise AnalysisError("summary cache holds a non-summary value")
+    return graph.summary_cache
+
+
+# ---------------------------------------------------------------------------
+# NumPy dtype facts (REP011)
+
+_CONSTRUCTOR_DTYPE_POSITION = {
+    "zeros": 1,
+    "ones": 1,
+    "empty": 1,
+    "full": 2,
+    "array": 1,
+    "asarray": 1,
+    "arange": 3,
+    "fromiter": 1,
+    "frombuffer": 1,
+    "astype": 0,
+    "view": 0,
+}
+
+_DTYPE_NAMES = frozenset(
+    {
+        "bool_",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+        "float16",
+        "float32",
+        "float64",
+        "complex64",
+        "complex128",
+    }
+)
+
+
+def dtype_of_expression(expr: ast.expr) -> str | None:
+    """The dtype an expression constructs, when statically evident.
+
+    Recognizes ``np.zeros(..., dtype=np.uint64)``-style constructors,
+    ``x.astype("int64")`` and ``x.view(np.uint64)``; returns the canonical
+    dtype name or ``None`` when unknown.
+    """
+    if not isinstance(expr, ast.Call):
+        return None
+    name = call_name(expr)
+    position = _CONSTRUCTOR_DTYPE_POSITION.get(name)
+    if position is None:
+        return None
+    dtype_expr: ast.expr | None = None
+    for keyword in expr.keywords:
+        if keyword.arg == "dtype":
+            dtype_expr = keyword.value
+    if dtype_expr is None and position < len(expr.args):
+        dtype_expr = expr.args[position]
+    if dtype_expr is None:
+        return None
+    return _dtype_name(dtype_expr)
+
+
+def _dtype_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Attribute) and expr.attr in _DTYPE_NAMES:
+        return expr.attr
+    if isinstance(expr, ast.Name) and expr.id in _DTYPE_NAMES:
+        return expr.id
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value if expr.value in _DTYPE_NAMES else None
+    if isinstance(expr, ast.Call) and call_name(expr) == "dtype" and expr.args:
+        return _dtype_name(expr.args[0])
+    return None
+
+
+def dtype_of_definition(stmt: ast.stmt) -> str | None:
+    """The dtype a definition statement assigns, when statically evident."""
+    if isinstance(stmt, ast.Assign):
+        return dtype_of_expression(stmt.value)
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        return dtype_of_expression(stmt.value)
+    return None
+
+
+__all__ = [
+    "ACQ",
+    "CFG",
+    "CFGNode",
+    "ESC",
+    "FunctionSummary",
+    "REL",
+    "ReachingDefinitions",
+    "ResourceAnalysis",
+    "ResourceModel",
+    "ResourceOutcome",
+    "SummaryTable",
+    "binding_key",
+    "build_cfg",
+    "calls_in",
+    "compute_summaries",
+    "dtype_contracts",
+    "dtype_of_definition",
+    "dtype_of_expression",
+    "executed_parts",
+    "forward_fixpoint",
+    "project_summaries",
+    "resource_model",
+    "walk_executed",
+]

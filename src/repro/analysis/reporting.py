@@ -1,10 +1,11 @@
-"""Text and JSON reporters for analysis runs."""
+"""Text, JSON and SARIF reporters for analysis runs."""
 
 from __future__ import annotations
 
 import json
+from typing import Any
 
-from repro.analysis.core import AnalysisReport, Finding
+from repro.analysis.core import AnalysisReport, Finding, all_rules
 
 
 def _status(finding: Finding) -> str:
@@ -62,6 +63,92 @@ def render_json(report: AnalysisReport) -> str:
                 "reason": finding.suppression_reason or finding.baseline_reason,
             }
             for finding in report.findings
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+#: Canonical SARIF 2.1.0 identifiers (fixed by the spec, not by us).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _sarif_result(finding: Finding) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": "error" if finding.is_new else "note",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        # SARIF columns are 1-based; ast col_offset is 0-based.
+                        "startColumn": finding.column + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.symbol:
+        result["logicalLocations"] = [
+            {"fullyQualifiedName": finding.symbol, "kind": "function"}
+        ]
+    suppressions: list[dict[str, Any]] = []
+    if finding.suppressed:
+        suppressions.append(
+            {
+                "kind": "inSource",
+                "justification": finding.suppression_reason,
+            }
+        )
+    if finding.baselined:
+        suppressions.append(
+            {
+                "kind": "external",
+                "justification": finding.baseline_reason,
+            }
+        )
+    if suppressions:
+        result["suppressions"] = suppressions
+    return result
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    """SARIF 2.1.0 log for CI PR annotation (codeql-action/upload-sarif).
+
+    New findings are ``error``-level results; suppressed and baselined
+    findings ship as ``note``-level results carrying SARIF ``suppressions``
+    (``inSource`` for ``# repro: allow`` comments, ``external`` for baseline
+    entries) so the escape hatches stay auditable in the uploaded log.
+    """
+    driver = {
+        "name": "repro-lint",
+        "semanticVersion": "1.0.0",
+        "rules": [
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "fullDescription": {"text": rule.explanation},
+            }
+            for rule in all_rules()
+        ],
+    }
+    payload: dict[str, Any] = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": [
+                    _sarif_result(finding) for finding in report.findings
+                ],
+            }
         ],
     }
     return json.dumps(payload, indent=2)

@@ -13,10 +13,13 @@ surfaces them at lint time instead.
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.analysis.core import Finding, ModuleContext, Rule, register
 from repro.analysis.manifest import InvariantManifest, WorkerCall
+
+if TYPE_CHECKING:
+    from repro.analysis.core import Project
 
 
 def _annotation_names(annotation: ast.expr) -> Iterable[str]:
@@ -83,8 +86,12 @@ class ProcessSafety(Rule):
         "pickle into a disconnected copy.  Lambda field defaults and lambda/"
         "local-function workers passed to run_many/fan_out_shared/pool.map "
         "fail at fan-out time with an opaque PicklingError; this rule moves "
-        "that failure to lint time.  Hold live resources in the runner "
-        "process and ship names/specs, as SharedDatasetManifest does."
+        "that failure to lint time.  Worker names are resolved through the "
+        "project call graph, so a local function passed by name — or a "
+        "factory call whose summary says it returns a nested function — is "
+        "caught wherever it was defined, not just when it sits next to the "
+        "call.  Hold live resources in the runner process and ship "
+        "names/specs, as SharedDatasetManifest does."
     )
 
     def check_module(
@@ -154,16 +161,45 @@ class ProcessSafety(Rule):
                 f"lambda worker passed to {key}() cannot pickle under "
                 f"spawn; use a module-level function",
             )
-        elif isinstance(worker, ast.Name):
-            enclosing = module.enclosing_function(call)
-            if enclosing is None:
-                return
-            for candidate in ast.walk(enclosing):
-                if (
-                    isinstance(candidate, (ast.FunctionDef, ast.AsyncFunctionDef))
-                    and candidate is not enclosing
-                    and candidate.name == worker.id
-                ):
+
+    def finalize(self, project: "Project") -> Iterable[Finding]:
+        """Call-graph pass: workers passed by name or built by factories.
+
+        The per-module check catches a lambda sitting in the argument list;
+        this pass resolves worker *names* through the project call graph
+        (a nested function is unpicklable no matter how far from the call it
+        was defined) and follows factory calls whose summary says they
+        return a nested function or lambda.
+        """
+        worker_calls = dict(project.manifest.worker_calls)
+        if not worker_calls:
+            return
+        from repro.analysis.dataflow import project_summaries
+
+        graph = project.graph()
+        summaries = project_summaries(project)
+        for site in graph.all_call_sites():
+            resolved = _worker_call_key(site.call, worker_calls)
+            if resolved is None:
+                continue
+            key, spec = resolved
+            if not _can_reach_process_mode(site.call, spec):
+                continue
+            worker: ast.expr | None = None
+            if spec.arg < len(site.call.args):
+                worker = site.call.args[spec.arg]
+            for keyword in site.call.keywords:
+                if keyword.arg == "worker":
+                    worker = keyword.value
+            module = project.module(site.module)
+            if worker is None or module is None:
+                continue
+            if isinstance(worker, ast.Name):
+                worker_id, _ = graph.resolve_name(
+                    site.module, site.caller, worker.id
+                )
+                info = graph.function(worker_id) if worker_id else None
+                if info is not None and info.nested:
                     yield module.finding(
                         self,
                         worker,
@@ -171,4 +207,16 @@ class ProcessSafety(Rule):
                         f"function and cannot pickle under spawn; move it to "
                         f"module level",
                     )
-                    return
+            elif isinstance(worker, ast.Call):
+                factory_id, _ = graph.resolve_call(
+                    site.module, site.caller, worker
+                )
+                summary = summaries.get(factory_id)
+                if summary is not None and summary.returns_nested_function:
+                    yield module.finding(
+                        self,
+                        worker,
+                        f"worker built by {key}()'s factory argument is a "
+                        f"nested function/lambda and cannot pickle under "
+                        f"spawn; return a module-level callable instead",
+                    )

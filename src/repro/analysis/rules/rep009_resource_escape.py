@@ -1,0 +1,155 @@
+"""REP009 — interprocedural resource escape.
+
+REP001 checks that a ``SharedMemory(create=True)`` call sits in a scope
+with a *syntactically visible* guard; that check goes blind the moment the
+handle crosses a function boundary.  REP009 runs the real analysis: every
+acquisition (shared-memory segments, ``mkstemp`` temp files, manifest-listed
+acquisition calls, and project helpers whose summary says they return a
+fresh resource) is tracked through the function's control-flow graph — with
+exception edges — until it reaches a cleanup sink on **every** path.
+
+Sinks are ``close``/``unlink``-style methods, the manifest's
+``cleanup_sinks`` callables, ``weakref.finalize`` registration, context
+managers, and resolved project callees whose summary releases the
+parameter.  A handle stored into ``self.<attr>`` transfers ownership to the
+instance, which is fine exactly when the owning class has a cleanup path
+for that attribute.  A raising path between acquisition and the sink — even
+when the sink lives in a helper — is a leak.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.dataflow import (
+    ResourceAnalysis,
+    ResourceModel,
+    binding_key,
+    project_summaries,
+    resource_model,
+)
+from repro.analysis.graph import FunctionInfo, ProjectGraph
+
+if TYPE_CHECKING:
+    from repro.analysis.core import Project
+    from repro.analysis.dataflow import SummaryTable
+
+
+@register
+class InterproceduralResourceEscape(Rule):
+    code = "REP009"
+    name = "resource-escape"
+    summary = "acquired resources must reach a cleanup sink on every path, across calls"
+    explanation = (
+        "A SharedMemory(create=True) segment or mkstemp temp file is a "
+        "kernel/filesystem object that outlives the process unless released. "
+        "REP009 follows each acquisition through the function's control-flow "
+        "graph, including the exception edges, and through resolved repro.* "
+        "calls via per-function summaries: a helper that releases its "
+        "parameter on every path discharges the caller's obligation, a "
+        "weakref.finalize registration or context manager counts as an "
+        "immediate guard, and storing the handle on self hands ownership to "
+        "the instance provided the class has a cleanup path for that "
+        "attribute.  What remains is a real leak: some path — usually a "
+        "raising one — on which the handle never reaches close/unlink.  Fix "
+        "the control flow (try/finally around the risky region, or register "
+        "the finalizer before it) rather than suppressing."
+    )
+
+    def finalize(self, project: "Project") -> Iterable[Finding]:
+        manifest = project.manifest
+        scope = tuple(manifest.resource_scope)
+        if not scope:
+            return
+        graph = project.graph()
+        summaries = project_summaries(project)
+        model = resource_model(manifest)
+        for fid, info in graph.functions.items():
+            if not info.module.startswith(scope):
+                continue
+            if not self._has_acquisition(graph, summaries, model, fid):
+                continue
+            yield from self._check_function(
+                project, graph, summaries, model, info
+            )
+
+    def _has_acquisition(
+        self,
+        graph: ProjectGraph,
+        summaries: "SummaryTable",
+        model: ResourceModel,
+        fid: str,
+    ) -> bool:
+        for site in graph.call_sites(fid):
+            if site.constructs is not None:
+                continue
+            if model.is_acquisition(site.call, summaries.get(site.callee)):
+                return True
+        return False
+
+    def _check_function(
+        self,
+        project: "Project",
+        graph: ProjectGraph,
+        summaries: "SummaryTable",
+        model: ResourceModel,
+        info: FunctionInfo,
+    ) -> Iterable[Finding]:
+        module = project.module(info.module)
+        if module is None:
+            return
+        outcome = ResourceAnalysis(
+            info, graph, summaries, model, track_params=False
+        ).run()
+        for token, call in outcome.acquisitions.items():
+            if call is None or not outcome.leaked(token):
+                continue
+            attr = outcome.adopted.get(token)
+            if attr is not None and self._class_cleans(
+                graph, summaries, model, info, attr
+            ):
+                continue
+            held = sorted(outcome.exit_bindings.get(token, ()))
+            where = f" (held as {', '.join(held)})" if held else ""
+            yield module.finding(
+                self,
+                call,
+                f"resource acquired here can exit {info.qualname}() without "
+                f"reaching a cleanup sink{where}; a raising path skips the "
+                f"release — guard with try/finally, a context manager, or a "
+                f"weakref.finalize registered before the risky region",
+            )
+
+    def _class_cleans(
+        self,
+        graph: ProjectGraph,
+        summaries: "SummaryTable",
+        model: ResourceModel,
+        info: FunctionInfo,
+        attr: str,
+    ) -> bool:
+        """Whether ``info``'s class has any cleanup path for ``self.<attr>``."""
+        if not info.owner_class:
+            return False
+        class_id = f"{info.module}::{info.owner_class}"
+        target = f"self.{attr}"
+        for method in graph.methods_of(class_id):
+            for site in graph.call_sites(method.id):
+                call = site.call
+                values = [*call.args, *(kw.value for kw in call.keywords)]
+                sinkish = site.name in model.cleanup_sinks or site.name == "finalize"
+                if sinkish and isinstance(call.func, ast.Attribute):
+                    if binding_key(call.func.value) == target:
+                        return True
+                if sinkish and any(binding_key(v) == target for v in values):
+                    return True
+                summary = summaries.get(site.callee)
+                if summary is not None and summary.releases:
+                    if any(binding_key(v) == target for v in values):
+                        return True
+        return False
+
+
+__all__ = ["InterproceduralResourceEscape"]

@@ -1,0 +1,291 @@
+"""REP010 — stale-snapshot dataflow.
+
+The columnar views, captured domains and fingerprints of a dataset are
+*snapshots*: valid until the dataset mutates, garbage afterwards.  PR 2/8
+wired cache invalidation into the sanctioned mutators, but nothing stops a
+caller from keeping a reference to the old snapshot across the mutation —
+exactly the bug class the upcoming incremental/MVCC work multiplies.
+
+This rule tracks snapshot-derived bindings through each function's CFG:
+a value produced by one of the manifest's ``snapshot_sources`` (called on a
+receiver, or — for classmethod constructors like ``DatasetDomains.capture``
+— derived from the first argument) goes stale the moment a mutator runs
+against the same receiver, whether directly (``dataset._set(...)``) or
+through a resolved callee whose summary mutates that argument.  Any later
+use of the stale binding is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.dataflow import (
+    CFGNode,
+    build_cfg,
+    binding_key,
+    calls_in,
+    executed_parts,
+    forward_fixpoint,
+    project_summaries,
+    walk_executed,
+)
+from repro.analysis.graph import CallSite, FunctionInfo, ProjectGraph, call_name
+
+if TYPE_CHECKING:
+    from repro.analysis.core import ModuleContext, Project
+    from repro.analysis.dataflow import SummaryTable
+
+_SNAP = "snap:"
+_STALE = "stale:"
+
+
+@register
+class StaleSnapshotDataflow(Rule):
+    code = "REP010"
+    name = "stale-snapshot"
+    summary = "snapshot-derived values must not be used across a dataset mutation"
+    explanation = (
+        "Dataset.columnar(), DatasetDomains.capture() and "
+        "Dataset.fingerprint() return snapshots of the dataset's current "
+        "state; the sanctioned mutators (_set/_delete/_rename and the "
+        "DatasetEditor entry points) invalidate the dataset's own caches but "
+        "cannot reach references the caller kept.  A binding derived from a "
+        "snapshot source that flows across a mutation of the same receiver — "
+        "directly or through a callee the call graph resolves as mutating — "
+        "and is used afterwards reads stale state.  Re-derive the value "
+        "after the mutation (snapshots are cheap: the columnar cache "
+        "rebuilds lazily), or restructure so the mutation happens first."
+    )
+
+    def finalize(self, project: "Project") -> Iterable[Finding]:
+        manifest = project.manifest
+        scope = tuple(manifest.snapshot_scope)
+        sources = frozenset(manifest.rep010_snapshot_sources)
+        mutators = frozenset(manifest.rep010_mutators)
+        if not scope or not sources or not mutators:
+            return
+        graph = project.graph()
+        summaries = project_summaries(project)
+        for fid, info in graph.functions.items():
+            if not info.module.startswith(scope):
+                continue
+            module = project.module(info.module)
+            if module is None:
+                continue
+            sites = graph.call_sites(fid)
+            has_source = any(
+                self._snapshot_root(site, summaries, sources) is not None
+                for site in sites
+            )
+            if not has_source:
+                continue
+            yield from _FunctionScan(
+                self, module, info, graph, summaries, sources, mutators
+            ).run()
+
+    @staticmethod
+    def _snapshot_root(
+        site: CallSite, summaries: "SummaryTable", sources: frozenset[str]
+    ) -> str | None:
+        """The receiver binding a snapshot call captures (None: not a source)."""
+        call = site.call
+        summary = summaries.get(site.callee)
+        from_summary = summary is not None and summary.returns_snapshot
+        if site.name not in sources and not from_summary:
+            return None
+        if isinstance(call.func, ast.Attribute):
+            key = binding_key(call.func.value)
+            if key is not None and not key.split(".", 1)[0][:1].isupper():
+                return key
+        # Classmethod-style source (DatasetDomains.capture(dataset)): the
+        # snapshot is of the first argument.
+        if call.args:
+            key = binding_key(call.args[0])
+            if key is not None:
+                return key
+        return None
+
+
+class _FunctionScan:
+    """One stale-snapshot dataflow pass over one function."""
+
+    def __init__(
+        self,
+        rule: StaleSnapshotDataflow,
+        module: "ModuleContext",
+        info: FunctionInfo,
+        graph: ProjectGraph,
+        summaries: "SummaryTable",
+        sources: frozenset[str],
+        mutators: frozenset[str],
+    ) -> None:
+        self.rule = rule
+        self.module = module
+        self.info = info
+        self.graph = graph
+        self.summaries = summaries
+        self.sources = sources
+        self.mutators = mutators
+        self.cfg = build_cfg(info.node)
+        self._sites_by_call: dict[int, CallSite] = {
+            id(site.call): site for site in graph.call_sites(info.id)
+        }
+        self._findings: dict[tuple[str, int], Finding] = {}
+
+    def run(self) -> Iterable[Finding]:
+        forward_fixpoint(self.cfg, {}, self._transfer)
+        return [self._findings[key] for key in sorted(self._findings)]
+
+    def _transfer(
+        self, node: CFGNode, state: dict[str, object]
+    ) -> tuple[dict[str, object], dict[str, object]]:
+        stmt = node.stmt
+        if stmt is None:
+            return state, state
+        parts = executed_parts(node)
+
+        # 1. uses of stale bindings, judged against the incoming state.
+        self._check_uses(stmt, parts, state)
+
+        out = dict(state)
+
+        # 2. mutation events invalidate matching snapshot facts.
+        mutated = self._mutated_roots(parts)
+        if mutated:
+            for key, value in list(out.items()):
+                if not isinstance(value, frozenset):
+                    continue
+                facts = set(value)
+                for root, line in mutated:
+                    snap = f"{_SNAP}{root}"
+                    if snap in facts:
+                        facts.discard(snap)
+                        facts.add(f"{_STALE}{root}:{line}")
+                out[key] = frozenset(facts)
+
+        # 3. assignments create or copy snapshot facts.
+        if isinstance(stmt, ast.Assign):
+            self._transfer_assign(stmt.targets, stmt.value, out)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._transfer_assign([stmt.target], stmt.value, out)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for name in _loop_targets(stmt.target):
+                out.pop(name, None)
+        # Exception edges carry the post-mutation state: staleness survives
+        # into handlers.
+        return out, out
+
+    def _check_uses(
+        self,
+        stmt: ast.stmt,
+        parts: list[ast.AST],
+        state: dict[str, object],
+    ) -> None:
+        for part in parts:
+            for inner in walk_executed(part):
+                if not isinstance(inner, (ast.Name, ast.Attribute)):
+                    continue
+                if not isinstance(inner.ctx, ast.Load):
+                    continue
+                key = binding_key(inner)
+                if key is None:
+                    continue
+                value = state.get(key)
+                if not isinstance(value, frozenset):
+                    continue
+                for fact in sorted(value):
+                    if not fact.startswith(_STALE):
+                        continue
+                    root, _, line = fact[len(_STALE) :].rpartition(":")
+                    finding_key = (key, getattr(inner, "lineno", 0))
+                    self._findings.setdefault(
+                        finding_key,
+                        self.module.finding(
+                            self.rule,
+                            inner,
+                            f"{key!r} holds a snapshot of {root!r} taken "
+                            f"before the mutation at line {line}; re-derive "
+                            f"it after mutating (stale columnar/domain/"
+                            f"fingerprint state)",
+                        ),
+                    )
+
+    def _mutated_roots(self, parts: list[ast.AST]) -> set[tuple[str, int]]:
+        mutated: set[tuple[str, int]] = set()
+        for part in parts:
+            for call in calls_in(part):
+                line = call.lineno
+                name = call_name(call)
+                if name in self.mutators and isinstance(call.func, ast.Attribute):
+                    key = binding_key(call.func.value)
+                    if key is not None:
+                        mutated.add((key, line))
+                site = self._sites_by_call.get(id(call))
+                summary = (
+                    self.summaries.get(site.callee) if site is not None else None
+                )
+                if summary is None or not summary.mutates:
+                    continue
+                callee = (
+                    self.graph.function(site.callee)
+                    if site is not None and site.callee is not None
+                    else None
+                )
+                offset = (
+                    1
+                    if callee is not None
+                    and callee.owner_class
+                    and isinstance(call.func, ast.Attribute)
+                    else 0
+                )
+                if offset and 0 in summary.mutates and isinstance(
+                    call.func, ast.Attribute
+                ):
+                    key = binding_key(call.func.value)
+                    if key is not None:
+                        mutated.add((key, line))
+                for position, value in enumerate(call.args):
+                    if position + offset in summary.mutates:
+                        key = binding_key(value)
+                        if key is not None:
+                            mutated.add((key, line))
+        return mutated
+
+    def _transfer_assign(
+        self,
+        targets: list[ast.expr],
+        value: ast.expr,
+        out: dict[str, object],
+    ) -> None:
+        facts: frozenset[str] = frozenset()
+        if isinstance(value, ast.Call):
+            site = self._sites_by_call.get(id(value))
+            if site is not None:
+                root = StaleSnapshotDataflow._snapshot_root(
+                    site, self.summaries, self.sources
+                )
+                if root is not None:
+                    facts = frozenset({f"{_SNAP}{root}"})
+        else:
+            source_key = binding_key(value)
+            if source_key is not None:
+                existing = out.get(source_key)
+                if isinstance(existing, frozenset):
+                    facts = existing
+        for target in targets:
+            key = binding_key(target)
+            if key is not None:
+                out[key] = facts
+
+
+def _loop_targets(target: ast.expr) -> Iterable[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _loop_targets(element)
+
+
+__all__ = ["StaleSnapshotDataflow"]

@@ -1,0 +1,235 @@
+"""REP011 — kernel dtype contracts.
+
+The columnar kernels are silent about dtype: ``popcount`` over an
+``int32`` posting matrix computes garbage (or upcasts and quietly halves
+throughput), a ``float64`` CSR indptr truncates on indexing.  The manifest's
+``[[rep011.contracts]]`` entries declare the ground truth — posting bitsets
+are packed ``uint64`` words, ``TransactionColumn`` indptr is ``int64`` —
+and this rule checks every analyzed call site against them.
+
+The dataflow engine does the tracing: a kernel argument constructed inline
+(``popcount(np.zeros(n, dtype=np.int32))``) is checked directly; a name is
+traced to its reaching definitions (``np.array``/``np.zeros`` with a dtype,
+``astype``, ``view``) through the function's CFG; and a parameter that a
+function merely forwards to a kernel inherits the kernel's requirement in
+its summary, so the check also fires one call level out.  Construction
+sites the engine cannot see stay silent — an unresolved dtype is never a
+finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.dataflow import (
+    ReachingDefinitions,
+    build_cfg,
+    calls_in,
+    dtype_contracts,
+    dtype_of_definition,
+    dtype_of_expression,
+    executed_parts,
+    project_summaries,
+)
+from repro.analysis.graph import CallSite, FunctionInfo, ProjectGraph
+
+if TYPE_CHECKING:
+    from repro.analysis.core import ModuleContext, Project
+    from repro.analysis.dataflow import SummaryTable
+
+
+@register
+class KernelDtypeContracts(Rule):
+    code = "REP011"
+    name = "dtype-contracts"
+    summary = "kernel arguments must be constructed with the declared dtype"
+    explanation = (
+        "The [[rep011.contracts]] manifest entries pin the dtypes the "
+        "columnar kernels assume: posting bitsets are packed uint64 words, "
+        "CSR indptr is int64.  NumPy will not enforce these — a wrong-dtype "
+        "array silently upcasts, truncates or miscounts.  This rule checks "
+        "every call site of a contracted kernel: arguments constructed "
+        "inline or traced to np.array/np.zeros/astype/view definitions "
+        "through the reaching-definitions analysis must carry the declared "
+        "dtype, and helpers that forward a parameter into a kernel inherit "
+        "the requirement in their call-graph summary.  Contracts that no "
+        "longer resolve to a real function/parameter are themselves flagged "
+        "so the manifest cannot rot."
+    )
+
+    def finalize(self, project: "Project") -> Iterable[Finding]:
+        manifest = project.manifest
+        if not manifest.dtype_contracts:
+            return
+        graph = project.graph()
+        summaries = project_summaries(project)
+        contracts = dtype_contracts(graph, manifest)
+
+        # Stale contracts: the referenced function/parameter must exist.
+        for contract in manifest.dtype_contracts:
+            path = contract.function.partition("::")[0]
+            info = graph.function(contract.function)
+            if info is None:
+                if project.resolves(contract.function):
+                    continue  # exists but outside the analyzed path set
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"stale dtype contract: {contract.function!r} does "
+                        f"not resolve to a function"
+                    ),
+                    path=path,
+                    line=1,
+                    column=0,
+                )
+            elif info.param_index(contract.param) is None:
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"stale dtype contract: {contract.function!r} has no "
+                        f"parameter {contract.param!r}"
+                    ),
+                    path=path,
+                    line=info.node.lineno,
+                    column=info.node.col_offset,
+                    symbol=info.qualname,
+                )
+
+        for fid, info in graph.functions.items():
+            module = project.module(info.module)
+            if module is None:
+                continue
+            sites = [
+                site
+                for site in graph.call_sites(fid)
+                if self._requirements(site, summaries, contracts)
+            ]
+            if not sites:
+                continue
+            yield from self._check_function(
+                module, info, graph, summaries, contracts, sites
+            )
+
+    @staticmethod
+    def _requirements(
+        site: CallSite,
+        summaries: "SummaryTable",
+        contracts: Mapping[str, Mapping[int, frozenset[str]]],
+    ) -> Mapping[int, frozenset[str]] | None:
+        if site.callee is None:
+            return None
+        required = contracts.get(site.callee)
+        if required:
+            return required
+        summary = summaries.get(site.callee)
+        if summary is not None and summary.dtype_requirements:
+            return summary.dtype_requirements
+        return None
+
+    def _check_function(
+        self,
+        module: "ModuleContext",
+        info: FunctionInfo,
+        graph: ProjectGraph,
+        summaries: "SummaryTable",
+        contracts: Mapping[str, Mapping[int, frozenset[str]]],
+        sites: list[CallSite],
+    ) -> Iterable[Finding]:
+        cfg = build_cfg(info.node)
+        definitions = ReachingDefinitions(cfg)
+        node_of_call: dict[int, int] = {}
+        for node in cfg.statement_nodes():
+            for part in executed_parts(node):
+                for call in calls_in(part):
+                    node_of_call[id(call)] = node.index
+
+        for site in sites:
+            required = self._requirements(site, summaries, contracts)
+            if required is None:
+                continue
+            callee = graph.function(site.callee) if site.callee else None
+            if callee is None:
+                continue
+            offset = (
+                1
+                if (
+                    callee.owner_class
+                    and isinstance(site.call.func, ast.Attribute)
+                )
+                or site.constructs is not None
+                else 0
+            )
+            for index, dtypes in required.items():
+                argument = self._argument_at(site.call, callee, index, offset)
+                if argument is None:
+                    continue
+                param = (
+                    callee.params[index]
+                    if index < len(callee.params)
+                    else f"#{index}"
+                )
+                yield from self._check_argument(
+                    module,
+                    definitions,
+                    node_of_call,
+                    site,
+                    argument,
+                    param,
+                    dtypes,
+                )
+
+    @staticmethod
+    def _argument_at(
+        call: ast.Call, callee: FunctionInfo, index: int, offset: int
+    ) -> ast.expr | None:
+        position = index - offset
+        if 0 <= position < len(call.args):
+            return call.args[position]
+        for keyword in call.keywords:
+            if keyword.arg is not None and callee.param_index(keyword.arg) == index:
+                return keyword.value
+        return None
+
+    def _check_argument(
+        self,
+        module: "ModuleContext",
+        definitions: ReachingDefinitions,
+        node_of_call: Mapping[int, int],
+        site: CallSite,
+        argument: ast.expr,
+        param: str,
+        dtypes: frozenset[str],
+    ) -> Iterable[Finding]:
+        wanted = "/".join(sorted(dtypes))
+        inline = dtype_of_expression(argument)
+        if inline is not None:
+            if inline not in dtypes:
+                yield module.finding(
+                    self,
+                    site.call,
+                    f"argument {param!r} of {site.name}() requires dtype "
+                    f"{wanted} but is constructed as {inline}",
+                )
+            return
+        if not isinstance(argument, ast.Name):
+            return
+        node_index = node_of_call.get(id(site.call))
+        if node_index is None:
+            return
+        for definition in definitions.defining_statements(
+            node_index, argument.id
+        ):
+            found = dtype_of_definition(definition)
+            if found is not None and found not in dtypes:
+                yield module.finding(
+                    self,
+                    site.call,
+                    f"argument {param!r} of {site.name}() requires dtype "
+                    f"{wanted} but {argument.id!r} is constructed as {found} "
+                    f"at line {definition.lineno}",
+                )
+
+
+__all__ = ["KernelDtypeContracts"]

@@ -5,6 +5,8 @@ prior-knowledge adversary against anonymized outputs, instead of only
 asserting the guarantees analytically (:mod:`repro.metrics.privacy_checks`).
 """
 
+from __future__ import annotations
+
 from repro.attacks.coverage import (
     AttributeCoverage,
     best_knowledge,

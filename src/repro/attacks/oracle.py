@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.attacks.coverage import AttributeCoverage, best_knowledge
-from repro.datasets.dataset import Dataset
+from repro.datasets.dataset import Dataset, Record
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.index import interpreter_for
 
@@ -49,7 +49,7 @@ def _value_match_sets(
 
 
 def _qi_match_set(
-    record, matchers: Sequence[tuple[str, dict]]
+    record: Record, matchers: Sequence[tuple[str, dict]]
 ) -> frozenset[int]:
     """One target's QI matching set: the intersection across attributes."""
     candidate_sets = sorted(

@@ -1,0 +1,413 @@
+"""Unit tests for the dataflow engine (repro.analysis.dataflow)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from test_graph import build_project
+
+from repro.analysis.dataflow import (
+    ACQ,
+    ESC,
+    REL,
+    ReachingDefinitions,
+    ResourceAnalysis,
+    build_cfg,
+    compute_summaries,
+    dtype_of_expression,
+    executed_parts,
+    resource_model,
+)
+from repro.analysis.manifest import InvariantManifest
+
+RESOURCE_MANIFEST = InvariantManifest.from_mapping(
+    {
+        "rep009": {
+            "scope": [""],
+            "acquisition_calls": ["mkstemp"],
+            "cleanup_sinks": ["close", "unlink", "_release"],
+        }
+    }
+)
+
+
+def parse_function(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return fn
+
+
+def analyze(tmp_path, source: str, name: str):
+    """Run ResourceAnalysis on one function of a one-module project."""
+    project = build_project(tmp_path, {"src/mod.py": source})
+    project.manifest = RESOURCE_MANIFEST
+    graph = project.graph()
+    summaries = compute_summaries(graph, RESOURCE_MANIFEST)
+    info = graph.function(f"src/mod.py::{name}")
+    assert info is not None
+    return ResourceAnalysis(
+        info, graph, summaries, resource_model(RESOURCE_MANIFEST),
+        track_params=False,
+    ).run()
+
+
+class TestCFG:
+    def test_linear_body_chains_entry_to_exit(self):
+        cfg = build_cfg(parse_function("def f():\n    a = 1\n    b = 2\n"))
+        first, second = [n for n in cfg.statement_nodes()]
+        assert first.index in cfg.node(cfg.entry).succ
+        assert second.index in first.succ
+        assert cfg.exit in second.succ
+
+    def test_if_branches_rejoin(self):
+        cfg = build_cfg(
+            parse_function(
+                """
+                def f(flag):
+                    if flag:
+                        a = 1
+                    else:
+                        a = 2
+                    return a
+                """
+            )
+        )
+        branch = next(n for n in cfg.statement_nodes() if n.kind == "branch")
+        assert len(branch.succ) == 2
+        ret = next(
+            n for n in cfg.statement_nodes() if isinstance(n.stmt, ast.Return)
+        )
+        preds = [
+            n.index
+            for n in cfg.nodes
+            if ret.index in n.succ
+        ]
+        assert len(preds) == 2
+
+    def test_raising_call_has_exception_edge_to_raise_exit(self):
+        cfg = build_cfg(parse_function("def f():\n    work()\n"))
+        stmt = next(cfg.statement_nodes())
+        assert cfg.raise_exit in stmt.exc
+
+    def test_try_routes_exceptions_to_handler_not_raise_exit(self):
+        cfg = build_cfg(
+            parse_function(
+                """
+                def f():
+                    try:
+                        work()
+                    except ValueError:
+                        recover()
+                """
+            )
+        )
+        work = next(
+            n
+            for n in cfg.statement_nodes()
+            if isinstance(n.stmt, ast.Expr) and "work" in ast.dump(n.stmt)
+        )
+        assert cfg.raise_exit not in work.exc
+        assert work.exc  # routed to the handler dispatch instead
+
+    def test_compound_node_executes_only_its_header(self):
+        cfg = build_cfg(
+            parse_function(
+                """
+                def f(flag):
+                    if flag:
+                        leak()
+                """
+            )
+        )
+        branch = next(n for n in cfg.statement_nodes() if n.kind == "branch")
+        parts = executed_parts(branch)
+        dumped = " ".join(ast.dump(part) for part in parts)
+        assert "leak" not in dumped  # the body belongs to its own node
+
+    def test_while_loops_back_to_its_test(self):
+        cfg = build_cfg(
+            parse_function(
+                """
+                def f(n):
+                    while n:
+                        n -= 1
+                """
+            )
+        )
+        head = next(n for n in cfg.statement_nodes() if n.kind == "branch")
+        body = next(
+            n for n in cfg.statement_nodes() if isinstance(n.stmt, ast.AugAssign)
+        )
+        assert head.index in body.succ
+
+
+class TestReachingDefinitions:
+    def _rd(self, source: str):
+        cfg = build_cfg(parse_function(source))
+        return cfg, ReachingDefinitions(cfg)
+
+    def test_redefinition_kills_on_a_straight_line(self):
+        cfg, rd = self._rd(
+            """
+            def f():
+                x = 1
+                x = 2
+                return x
+            """
+        )
+        ret = next(
+            n for n in cfg.statement_nodes() if isinstance(n.stmt, ast.Return)
+        )
+        (defining,) = rd.defining_statements(ret.index, "x")
+        assert isinstance(defining, ast.Assign)
+        assert defining.value.value == 2
+
+    def test_both_branch_definitions_reach_the_join(self):
+        cfg, rd = self._rd(
+            """
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        ret = next(
+            n for n in cfg.statement_nodes() if isinstance(n.stmt, ast.Return)
+        )
+        values = {
+            stmt.value.value for stmt in rd.defining_statements(ret.index, "x")
+        }
+        assert values == {1, 2}
+
+    def test_for_target_and_with_alias_define(self):
+        cfg, rd = self._rd(
+            """
+            def f(items, opener):
+                for item in items:
+                    pass
+                with opener() as handle:
+                    use(handle, item)
+            """
+        )
+        with_node = next(n for n in cfg.statement_nodes() if n.kind == "with")
+        use_node = next(
+            n
+            for n in cfg.statement_nodes()
+            if isinstance(n.stmt, ast.Expr) and "use" in ast.dump(n.stmt)
+        )
+        assert rd.definitions_at(use_node.index).get("handle") == frozenset(
+            {with_node.index}
+        )
+        assert "item" in rd.definitions_at(use_node.index)
+
+
+class TestResourceAnalysis:
+    def test_unguarded_acquisition_leaks_on_raise_path(self, tmp_path):
+        outcome = analyze(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def f(payload):
+                seg = SharedMemory(create=True, size=64)
+                risky(payload)
+                seg.close()
+                seg.unlink()
+            """,
+            "f",
+        )
+        (token,) = [t for t, call in outcome.acquisitions.items() if call]
+        assert outcome.leaked(token)
+        assert "seg" in outcome.exit_bindings[token]
+
+    def test_try_finally_release_is_clean(self, tmp_path):
+        outcome = analyze(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def f(payload):
+                seg = SharedMemory(create=True, size=64)
+                try:
+                    risky(payload)
+                finally:
+                    seg.close()
+                    seg.unlink()
+            """,
+            "f",
+        )
+        (token,) = [t for t, call in outcome.acquisitions.items() if call]
+        assert not outcome.leaked(token)
+        assert REL in outcome.exit_status[token]
+
+    def test_returned_resource_escapes_instead_of_leaking(self, tmp_path):
+        outcome = analyze(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def f():
+                return SharedMemory(create=True, size=64)
+            """,
+            "f",
+        )
+        (token,) = [t for t, call in outcome.acquisitions.items() if call]
+        assert token in outcome.returned
+        assert not outcome.leaked(token)
+        assert ESC in outcome.exit_status[token]
+
+    def test_release_through_project_helper_summary(self, tmp_path):
+        outcome = analyze(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def _release(segment):
+                segment.close()
+                segment.unlink()
+
+            def f():
+                seg = SharedMemory(create=True, size=64)
+                _release(seg)
+            """,
+            "f",
+        )
+        (token,) = [t for t, call in outcome.acquisitions.items() if call]
+        assert not outcome.leaked(token)
+
+    def test_adoption_into_self_attribute_is_recorded(self, tmp_path):
+        outcome = analyze(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            class Holder:
+                def __init__(self):
+                    self.segment = SharedMemory(create=True, size=64)
+            """,
+            "Holder.__init__",
+        )
+        (token,) = [t for t, call in outcome.acquisitions.items() if call]
+        # Adoption records the attribute name; the owning class's other
+        # methods are then searched for cleanup of ``self.segment``.
+        assert outcome.adopted[token] == "segment"
+
+    def test_mkstemp_tuple_unpack_shares_one_token(self, tmp_path):
+        outcome = analyze(
+            tmp_path,
+            """
+            from tempfile import mkstemp
+            import os
+
+            def f():
+                fd, path = mkstemp()
+                risky(path)
+                os.close(fd)
+                os.unlink(path)
+            """,
+            "f",
+        )
+        tokens = [t for t, call in outcome.acquisitions.items() if call]
+        assert len(tokens) == 1
+        assert outcome.leaked(tokens[0])  # risky(path) precedes both cleanups
+
+
+class TestSummaries:
+    def _summaries(self, tmp_path, files):
+        project = build_project(tmp_path, files)
+        project.manifest = RESOURCE_MANIFEST
+        graph = project.graph()
+        return graph, compute_summaries(graph, RESOURCE_MANIFEST)
+
+    def test_releasing_helper_summary(self, tmp_path):
+        graph, table = self._summaries(
+            tmp_path,
+            {
+                "src/mod.py": textwrap.dedent(
+                    """
+                    def _release(segment):
+                        segment.close()
+                        segment.unlink()
+                    """
+                )
+            },
+        )
+        summary = table.get("src/mod.py::_release")
+        assert summary is not None
+        assert summary.releases == frozenset({0})
+
+    def test_factory_summary_returns_resource(self, tmp_path):
+        graph, table = self._summaries(
+            tmp_path,
+            {
+                "src/mod.py": textwrap.dedent(
+                    """
+                    from multiprocessing.shared_memory import SharedMemory
+
+                    def create(size):
+                        return SharedMemory(create=True, size=size)
+                    """
+                )
+            },
+        )
+        assert table.get("src/mod.py::create").returns_resource
+
+    def test_transitive_release_via_wrapper(self, tmp_path):
+        graph, table = self._summaries(
+            tmp_path,
+            {
+                "src/mod.py": textwrap.dedent(
+                    """
+                    def _release(segment):
+                        segment.close()
+                        segment.unlink()
+
+                    def shutdown(segment):
+                        _release(segment)
+                    """
+                )
+            },
+        )
+        assert table.get("src/mod.py::shutdown").releases == frozenset({0})
+
+    def test_nested_function_factory_summary(self, tmp_path):
+        graph, table = self._summaries(
+            tmp_path,
+            {
+                "src/mod.py": textwrap.dedent(
+                    """
+                    def make_worker(scale):
+                        def worker(task):
+                            return task * scale
+
+                        return worker
+                    """
+                )
+            },
+        )
+        assert table.get("src/mod.py::make_worker").returns_nested_function
+
+
+class TestDtypeFacts:
+    @pytest.mark.parametrize(
+        ("expression", "expected"),
+        [
+            ("np.zeros(4, dtype=np.uint64)", "uint64"),
+            ("np.zeros(4, np.uint64)", "uint64"),
+            ("np.full(4, 0, dtype='int64')", "int64"),
+            ("values.astype(np.int64)", "int64"),
+            ("values.view('uint64')", "uint64"),
+            ("np.array([1, 2])", None),
+            ("np.zeros(4, dtype=width)", None),
+            ("mystery(4)", None),
+        ],
+    )
+    def test_dtype_of_expression(self, expression, expected):
+        expr = ast.parse(expression).body[0].value
+        assert dtype_of_expression(expr) == expected

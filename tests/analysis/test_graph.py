@@ -1,0 +1,164 @@
+"""Unit tests for the project import/call graph (repro.analysis.graph)."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import ModuleContext, Project
+from repro.analysis.graph import ProjectGraph, call_name, module_names
+from repro.analysis.manifest import InvariantManifest
+
+ALPHA = """
+    from pkg.beta import helper
+
+    class Engine:
+        def __init__(self, size):
+            self.size = size
+
+        def run(self, x):
+            return self.step(x) + helper(x)
+
+        def step(self, x):
+            return x + 1
+
+    def make():
+        engine = Engine(4)
+        return mystery(engine)
+
+    def outer():
+        def inner():
+            return 1
+
+        return inner
+"""
+
+BETA = """
+    import pkg.alpha as alpha_mod
+
+    def helper(x):
+        return x * 2
+
+    def cross():
+        return alpha_mod.make()
+"""
+
+
+def build_project(root: Path, files: dict[str, str]) -> Project:
+    modules = []
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        modules.append(ModuleContext(root, path, path.read_text()))
+    return Project(root, modules, InvariantManifest())
+
+
+@pytest.fixture
+def graph(tmp_path) -> ProjectGraph:
+    project = build_project(
+        tmp_path,
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/alpha.py": ALPHA,
+            "src/pkg/beta.py": BETA,
+        },
+    )
+    return project.graph()
+
+
+class TestModuleNames:
+    def test_src_layout_gets_both_spellings(self):
+        assert module_names("src/pkg/alpha.py") == ("src.pkg.alpha", "pkg.alpha")
+
+    def test_package_init_takes_package_name(self):
+        assert "pkg" in module_names("src/pkg/__init__.py")
+
+    def test_non_python_path_is_empty(self):
+        assert module_names("README.md") == ()
+
+
+class TestCollection:
+    def test_methods_carry_owner_class_and_self(self, graph):
+        info = graph.function("src/pkg/alpha.py::Engine.run")
+        assert info is not None
+        assert info.owner_class == "Engine"
+        assert info.params == ("self", "x")
+        assert not info.nested
+
+    def test_nested_function_is_marked(self, graph):
+        info = graph.function("src/pkg/alpha.py::outer.inner")
+        assert info is not None
+        assert info.nested
+
+    def test_methods_of_lists_direct_methods_only(self, graph):
+        names = {
+            info.qualname
+            for info in graph.methods_of("src/pkg/alpha.py::Engine")
+        }
+        assert names == {"Engine.__init__", "Engine.run", "Engine.step"}
+
+
+class TestResolution:
+    def _sites(self, graph, fid):
+        return {site.name: site for site in graph.call_sites(fid)}
+
+    def test_self_method_call_resolves(self, graph):
+        sites = self._sites(graph, "src/pkg/alpha.py::Engine.run")
+        assert sites["step"].callee == "src/pkg/alpha.py::Engine.step"
+
+    def test_from_import_symbol_resolves_across_modules(self, graph):
+        sites = self._sites(graph, "src/pkg/alpha.py::Engine.run")
+        assert sites["helper"].callee == "src/pkg/beta.py::helper"
+
+    def test_constructor_call_records_the_class(self, graph):
+        sites = self._sites(graph, "src/pkg/alpha.py::make")
+        assert sites["Engine"].constructs == "src/pkg/alpha.py::Engine"
+
+    def test_module_alias_attribute_call_resolves(self, graph):
+        sites = self._sites(graph, "src/pkg/beta.py::cross")
+        assert sites["make"].callee == "src/pkg/alpha.py::make"
+
+    def test_unresolved_call_still_yields_a_site(self, graph):
+        sites = self._sites(graph, "src/pkg/alpha.py::make")
+        assert "mystery" in sites
+        assert sites["mystery"].callee is None
+
+    def test_callers_of_inverts_the_edge(self, graph):
+        assert "src/pkg/alpha.py::Engine.run" in graph.callers_of(
+            "src/pkg/beta.py::helper"
+        )
+
+
+class TestGraphShape:
+    def test_import_edges_are_project_internal(self, graph):
+        assert "src/pkg/beta.py" in graph.module_imports["src/pkg/alpha.py"]
+        assert "src/pkg/alpha.py" in graph.module_imports["src/pkg/beta.py"]
+
+    def test_stats_keys_and_consistency(self, graph):
+        stats = graph.stats()
+        assert set(stats) == {
+            "modules",
+            "import_edges",
+            "functions",
+            "call_sites",
+            "resolved_call_sites",
+            "call_edges",
+        }
+        assert stats["modules"] == 3
+        assert stats["resolved_call_sites"] <= stats["call_sites"]
+        assert stats["call_edges"] == graph.edge_count
+
+    def test_project_graph_is_cached(self, tmp_path):
+        project = build_project(tmp_path, {"src/only.py": "x = 1\n"})
+        assert project.graph() is project.graph()
+
+
+class TestCallName:
+    def test_last_dotted_component(self):
+        import ast
+
+        call = ast.parse("a.b.close()").body[0].value
+        assert call_name(call) == "close"

@@ -24,6 +24,7 @@ STRICT_PACKAGES = (
     "src/repro/index",
     "src/repro/engine",
     "src/repro/analysis",
+    "src/repro/attacks",
 )
 
 
@@ -45,6 +46,7 @@ class TestMypyConfig:
             "repro.index.*",
             "repro.engine.*",
             "repro.analysis.*",
+            "repro.attacks.*",
         } <= modules
 
     def test_strict_flags_are_enabled(self):

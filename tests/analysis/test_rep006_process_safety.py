@@ -81,6 +81,36 @@ MODULE_LEVEL_WORKER = """
         return fan_out_shared(dataset, make_tasks, worker)
 """
 
+NESTED_WORKER_VIA_FACTORY = """
+    def make_worker(scale):
+        def worker(task):
+            return task * scale
+
+        return worker
+
+    def launch(dataset):
+        return fan_out_shared(dataset, make_tasks, make_worker(2))
+"""
+
+MODULE_LEVEL_WORKER_VIA_FACTORY = """
+    def worker(task):
+        return task
+
+    def make_worker(scale):
+        return worker
+
+    def launch(dataset):
+        return fan_out_shared(dataset, make_tasks, make_worker(2))
+"""
+
+NESTED_WORKER_PASSED_BY_NAME = """
+    def launch(dataset):
+        def worker(task):
+            return task
+
+        return fan_out_shared(dataset, make_tasks, worker)
+"""
+
 
 class TestRep006SpecClasses:
     def test_lock_field_is_flagged(self, harness):
@@ -168,6 +198,35 @@ class TestRep006Workers:
             )
             == []
         )
+
+    def test_nested_worker_passed_by_name_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/pkg/mod.py",
+            NESTED_WORKER_PASSED_BY_NAME,
+            manifest=MANIFEST,
+            select=["REP006"],
+        )
+        assert new_codes(findings) == ["REP006"]
+        assert "worker" in findings[0].message
+
+    def test_factory_returning_nested_worker_is_flagged(self, harness):
+        """Interprocedural: the call graph sees through ``make_worker(2)``."""
+        findings = harness.findings(
+            "src/pkg/mod.py",
+            NESTED_WORKER_VIA_FACTORY,
+            manifest=MANIFEST,
+            select=["REP006"],
+        )
+        assert new_codes(findings) == ["REP006"]
+
+    def test_factory_returning_module_level_worker_is_clean(self, harness):
+        findings = harness.findings(
+            "src/pkg/mod.py",
+            MODULE_LEVEL_WORKER_VIA_FACTORY,
+            manifest=MANIFEST,
+            select=["REP006"],
+        )
+        assert new_codes(findings) == []
 
     def test_suppression_with_reason_is_honored(self, harness):
         source = LAMBDA_TO_RUN_MANY_PROCESS.replace(

@@ -1,0 +1,214 @@
+"""REP009: interprocedural resource-escape fixtures.
+
+Includes the acceptance proof for this rule's reason to exist: a leak that
+REP001's scope-local guard heuristics cannot see (the scope *contains* a
+handler that cleans and re-raises, so REP001 calls it guarded) but whose
+raising path REP009's path-sensitive analysis correctly flags.
+"""
+
+from __future__ import annotations
+
+from lint_harness import new_codes
+
+from repro.analysis.manifest import InvariantManifest
+
+MANIFEST = InvariantManifest.from_mapping(
+    {
+        "rep001": {"cleanup_helpers": ["_release"]},
+        "rep009": {
+            "scope": [""],
+            "acquisition_calls": ["mkstemp"],
+            "cleanup_sinks": ["close", "unlink", "replace", "_release"],
+        },
+    }
+)
+
+#: The raising call ``encode_header`` sits BEFORE the try block: on that
+#: path the segment leaks.  REP001 sees a handler that calls the cleanup
+#: helper and re-raises, judges the scope guarded, and stays silent.
+LEAK_BEFORE_TRY = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def _release(segment):
+        segment.close()
+        segment.unlink()
+
+    def export(payload):
+        seg = SharedMemory(create=True, size=1024)
+        header = encode_header(payload)
+        try:
+            copy_in(seg, payload, header)
+        except ValueError:
+            _release(seg)
+            raise
+        _release(seg)
+"""
+
+CLEAN_TRY_FINALLY = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def _release(segment):
+        segment.close()
+        segment.unlink()
+
+    def export(payload):
+        seg = SharedMemory(create=True, size=1024)
+        try:
+            header = encode_header(payload)
+            copy_in(seg, payload, header)
+        finally:
+            _release(seg)
+"""
+
+MKSTEMP_LEAK = """
+    import os
+    from tempfile import mkstemp
+
+    def stage(data):
+        fd, path = mkstemp()
+        os.write(fd, serialize(data))
+        os.close(fd)
+        os.replace(path, target_for(data))
+"""
+
+#: ``finally`` is the pattern REP009 accepts: an ``except OSError`` that
+#: unlinks and re-raises would still leak on exceptions the handler does
+#: not match (the analysis keeps the unmatched-exception bypass edge).
+MKSTEMP_CLEAN = """
+    import os
+    from tempfile import mkstemp
+
+    def stage(data):
+        fd, path = mkstemp()
+        try:
+            os.write(fd, serialize(data))
+        finally:
+            os.close(fd)
+            os.unlink(path)
+"""
+
+RETURNED_RESOURCE = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def create(size):
+        return SharedMemory(create=True, size=size)
+"""
+
+ADOPTED_WITH_CLOSER = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    class Holder:
+        def __init__(self, size):
+            self.segment = SharedMemory(create=True, size=size)
+
+        def close(self):
+            self.segment.close()
+            self.segment.unlink()
+"""
+
+ADOPTED_WITHOUT_CLOSER = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    class Hoarder:
+        def __init__(self, size):
+            self.segment = SharedMemory(create=True, size=size)
+            prepare(self.segment)
+
+        def describe(self):
+            return self.segment.name
+"""
+
+
+class TestRep009:
+    def test_leak_on_raising_path_before_try(self, harness):
+        findings = harness.findings(
+            "src/mod.py", LEAK_BEFORE_TRY, manifest=MANIFEST, select=["REP009"]
+        )
+        assert new_codes(findings) == ["REP009"]
+        assert "cleanup sink" in findings[0].message
+        assert findings[0].symbol == "export"
+
+    def test_try_finally_is_clean(self, harness):
+        findings = harness.findings(
+            "src/mod.py", CLEAN_TRY_FINALLY, manifest=MANIFEST, select=["REP009"]
+        )
+        assert new_codes(findings) == []
+
+    def test_the_leak_is_invisible_to_rep001(self, harness):
+        """The acceptance proof: both rules on the same fixture."""
+        findings = harness.findings(
+            "src/mod.py",
+            LEAK_BEFORE_TRY,
+            manifest=MANIFEST,
+            select=["REP001", "REP009"],
+        )
+        assert new_codes(findings) == ["REP009"]
+
+    def test_clean_fixture_passes_both_rules(self, harness):
+        findings = harness.findings(
+            "src/mod.py",
+            CLEAN_TRY_FINALLY,
+            manifest=MANIFEST,
+            select=["REP001", "REP009"],
+        )
+        assert new_codes(findings) == []
+
+    def test_mkstemp_raise_between_write_and_replace_leaks(self, harness):
+        findings = harness.findings(
+            "src/mod.py", MKSTEMP_LEAK, manifest=MANIFEST, select=["REP009"]
+        )
+        assert new_codes(findings) == ["REP009"]
+
+    def test_mkstemp_with_finally_cleanup_is_clean(self, harness):
+        findings = harness.findings(
+            "src/mod.py", MKSTEMP_CLEAN, manifest=MANIFEST, select=["REP009"]
+        )
+        assert new_codes(findings) == []
+
+    def test_returning_the_resource_is_ownership_transfer(self, harness):
+        findings = harness.findings(
+            "src/mod.py", RETURNED_RESOURCE, manifest=MANIFEST, select=["REP009"]
+        )
+        assert new_codes(findings) == []
+
+    def test_adoption_with_a_cleaning_method_is_clean(self, harness):
+        findings = harness.findings(
+            "src/mod.py", ADOPTED_WITH_CLOSER, manifest=MANIFEST, select=["REP009"]
+        )
+        assert new_codes(findings) == []
+
+    def test_adoption_without_any_cleaning_method_leaks(self, harness):
+        findings = harness.findings(
+            "src/mod.py",
+            ADOPTED_WITHOUT_CLOSER,
+            manifest=MANIFEST,
+            select=["REP009"],
+        )
+        assert new_codes(findings) == ["REP009"]
+
+    def test_suppression_applies(self, harness):
+        source = LEAK_BEFORE_TRY.replace(
+            "seg = SharedMemory(create=True, size=1024)",
+            "seg = SharedMemory(create=True, size=1024)"
+            "  # repro: allow[REP009] -- fixture exercises the leak",
+        )
+        findings = harness.findings(
+            "src/mod.py", source, manifest=MANIFEST, select=["REP009"]
+        )
+        assert new_codes(findings) == []
+        assert any(f.suppressed for f in findings)
+
+    def test_out_of_scope_module_is_ignored(self, harness):
+        scoped = InvariantManifest.from_mapping(
+            {
+                "rep009": {
+                    "scope": ["src/"],
+                    "acquisition_calls": [],
+                    "cleanup_sinks": ["close", "unlink", "_release"],
+                }
+            }
+        )
+        findings = harness.findings(
+            "tools/mod.py", LEAK_BEFORE_TRY, manifest=scoped, select=["REP009"]
+        )
+        assert new_codes(findings) == []

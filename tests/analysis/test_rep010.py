@@ -1,0 +1,134 @@
+"""REP010: stale-snapshot dataflow fixtures."""
+
+from __future__ import annotations
+
+from lint_harness import new_codes
+
+from repro.analysis.manifest import InvariantManifest
+
+MANIFEST = InvariantManifest.from_mapping(
+    {
+        "rep010": {
+            "scope": [""],
+            "snapshot_sources": ["columnar", "capture", "fingerprint"],
+            "mutators": ["_set", "_delete", "_rename"],
+        }
+    }
+)
+
+USE_AFTER_MUTATE = """
+    def sweep(dataset, value):
+        view = dataset.columnar("age")
+        dataset._set(0, "age", value)
+        return view.codes
+"""
+
+MUTATE_THEN_SNAPSHOT = """
+    def sweep(dataset, value):
+        dataset._set(0, "age", value)
+        view = dataset.columnar("age")
+        return view.codes
+"""
+
+USE_BEFORE_MUTATE = """
+    def sweep(dataset, value):
+        view = dataset.columnar("age")
+        size = len(view.codes)
+        dataset._set(0, "age", value)
+        return size
+"""
+
+STALE_ON_ONE_BRANCH = """
+    def sweep(dataset, value, dirty):
+        view = dataset.columnar("age")
+        if dirty:
+            dataset._set(0, "age", value)
+        return view.codes
+"""
+
+FINGERPRINT_ACROSS_MUTATION = """
+    def checkpoint(dataset, value):
+        stamp = dataset.fingerprint()
+        dataset._delete(0)
+        record(stamp)
+"""
+
+INTERPROCEDURAL_MUTATOR = """
+    def scrub(dataset):
+        dataset._rename("age", "years")
+
+    def sweep(dataset):
+        view = dataset.columnar("age")
+        scrub(dataset)
+        return view.codes
+"""
+
+OTHER_OBJECT_MUTATED = """
+    def sweep(dataset, scratch, value):
+        view = dataset.columnar("age")
+        scratch._set(0, "age", value)
+        return view.codes
+"""
+
+
+class TestRep010:
+    def test_snapshot_used_after_mutation_is_stale(self, harness):
+        findings = harness.findings(
+            "src/mod.py", USE_AFTER_MUTATE, manifest=MANIFEST, select=["REP010"]
+        )
+        assert new_codes(findings) == ["REP010"]
+        assert "view" in findings[0].message
+
+    def test_mutate_then_snapshot_is_clean(self, harness):
+        findings = harness.findings(
+            "src/mod.py", MUTATE_THEN_SNAPSHOT, manifest=MANIFEST, select=["REP010"]
+        )
+        assert new_codes(findings) == []
+
+    def test_use_before_mutation_is_clean(self, harness):
+        findings = harness.findings(
+            "src/mod.py", USE_BEFORE_MUTATE, manifest=MANIFEST, select=["REP010"]
+        )
+        assert new_codes(findings) == []
+
+    def test_mutation_on_one_branch_still_flags_the_join(self, harness):
+        findings = harness.findings(
+            "src/mod.py", STALE_ON_ONE_BRANCH, manifest=MANIFEST, select=["REP010"]
+        )
+        assert new_codes(findings) == ["REP010"]
+
+    def test_fingerprint_is_a_snapshot_source_too(self, harness):
+        findings = harness.findings(
+            "src/mod.py",
+            FINGERPRINT_ACROSS_MUTATION,
+            manifest=MANIFEST,
+            select=["REP010"],
+        )
+        assert new_codes(findings) == ["REP010"]
+
+    def test_mutation_through_a_project_helper_is_seen(self, harness):
+        findings = harness.findings(
+            "src/mod.py",
+            INTERPROCEDURAL_MUTATOR,
+            manifest=MANIFEST,
+            select=["REP010"],
+        )
+        assert new_codes(findings) == ["REP010"]
+        assert findings[0].symbol == "sweep"
+
+    def test_mutating_a_different_object_is_clean(self, harness):
+        findings = harness.findings(
+            "src/mod.py", OTHER_OBJECT_MUTATED, manifest=MANIFEST, select=["REP010"]
+        )
+        assert new_codes(findings) == []
+
+    def test_suppression_applies(self, harness):
+        source = USE_AFTER_MUTATE.replace(
+            "return view.codes",
+            "return view.codes  # repro: allow[REP010] -- refresh tested below",
+        )
+        findings = harness.findings(
+            "src/mod.py", source, manifest=MANIFEST, select=["REP010"]
+        )
+        assert new_codes(findings) == []
+        assert any(f.suppressed for f in findings)

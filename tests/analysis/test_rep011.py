@@ -1,0 +1,149 @@
+"""REP011: kernel dtype-contract fixtures."""
+
+from __future__ import annotations
+
+from lint_harness import new_codes
+
+from repro.analysis.manifest import InvariantManifest
+
+MANIFEST = InvariantManifest.from_mapping(
+    {
+        "rep011": {
+            "contracts": [
+                {
+                    "function": "src/kernels.py::popcount",
+                    "param": "bits",
+                    "dtype": "uint64",
+                },
+                {
+                    "function": "src/kernels.py::Column.__init__",
+                    "param": "indptr",
+                    "dtype": "int64",
+                },
+            ]
+        }
+    }
+)
+
+KERNELS = """
+    import numpy as np
+
+    def popcount(bits):
+        return int(np.bitwise_count(bits).sum())
+
+    class Column:
+        def __init__(self, indptr, values):
+            self.indptr = indptr
+            self.values = values
+"""
+
+WRONG_INLINE = KERNELS + """
+    def caller(n):
+        return popcount(np.zeros(n, dtype=np.int32))
+"""
+
+WRONG_VIA_DEFINITION = KERNELS + """
+    def caller(n):
+        bits = np.zeros(n, dtype=np.int32)
+        return popcount(bits)
+"""
+
+RIGHT_DTYPE = KERNELS + """
+    def caller(n):
+        bits = np.zeros(n, dtype=np.uint64)
+        return popcount(bits)
+"""
+
+UNKNOWN_DTYPE = KERNELS + """
+    def caller(source):
+        bits = load(source)
+        return popcount(bits)
+"""
+
+WRONG_CONSTRUCTOR_KEYWORD = KERNELS + """
+    def build(n):
+        return Column(indptr=np.zeros(n + 1, dtype=np.int32), values=n)
+"""
+
+RIGHT_VIA_ASTYPE = KERNELS + """
+    def build(offsets, n):
+        return Column(offsets.astype(np.int64), n)
+"""
+
+
+class TestRep011:
+    def test_wrong_inline_dtype_is_flagged(self, harness):
+        findings = harness.findings(
+            "src/kernels.py", WRONG_INLINE, manifest=MANIFEST, select=["REP011"]
+        )
+        assert new_codes(findings) == ["REP011"]
+        assert "uint64" in findings[0].message
+
+    def test_wrong_dtype_found_through_reaching_definition(self, harness):
+        findings = harness.findings(
+            "src/kernels.py",
+            WRONG_VIA_DEFINITION,
+            manifest=MANIFEST,
+            select=["REP011"],
+        )
+        assert new_codes(findings) == ["REP011"]
+        # The message cites where the offending array was constructed.
+        assert "int32" in findings[0].message
+
+    def test_right_dtype_is_clean(self, harness):
+        findings = harness.findings(
+            "src/kernels.py", RIGHT_DTYPE, manifest=MANIFEST, select=["REP011"]
+        )
+        assert new_codes(findings) == []
+
+    def test_statically_unknown_dtype_is_never_a_finding(self, harness):
+        findings = harness.findings(
+            "src/kernels.py", UNKNOWN_DTYPE, manifest=MANIFEST, select=["REP011"]
+        )
+        assert new_codes(findings) == []
+
+    def test_constructor_keyword_argument_is_checked(self, harness):
+        findings = harness.findings(
+            "src/kernels.py",
+            WRONG_CONSTRUCTOR_KEYWORD,
+            manifest=MANIFEST,
+            select=["REP011"],
+        )
+        assert new_codes(findings) == ["REP011"]
+        assert "int64" in findings[0].message
+
+    def test_astype_satisfies_the_contract(self, harness):
+        findings = harness.findings(
+            "src/kernels.py", RIGHT_VIA_ASTYPE, manifest=MANIFEST, select=["REP011"]
+        )
+        assert new_codes(findings) == []
+
+    def test_stale_contract_reference_is_flagged(self, harness):
+        stale = InvariantManifest.from_mapping(
+            {
+                "rep011": {
+                    "contracts": [
+                        {
+                            "function": "src/kernels.py::vanished",
+                            "param": "bits",
+                            "dtype": "uint64",
+                        }
+                    ]
+                }
+            }
+        )
+        findings = harness.findings(
+            "src/kernels.py", KERNELS, manifest=stale, select=["REP011"]
+        )
+        assert new_codes(findings) == ["REP011"]
+        assert "vanished" in findings[0].message
+
+    def test_contract_missing_field_rejected(self):
+        import pytest
+
+        from repro.exceptions import AnalysisError
+
+        with pytest.raises(AnalysisError, match="rep011"):
+            InvariantManifest.from_mapping(
+                {"rep011": {"contracts": [{"function": "a.py::f"}]}}
+            )

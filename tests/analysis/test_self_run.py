@@ -58,6 +58,12 @@ class TestSelfRun:
     def test_committed_baseline_fingerprints_are_current(self):
         baseline_path = REPO_ROOT / ".repro-lint-baseline.json"
         payload = json.loads(baseline_path.read_text())
-        assert payload["version"] == 1
+        assert payload["version"] == 2
+        assert payload["fingerprint_fields"] == [
+            "code",
+            "path",
+            "symbol",
+            "normalized_line",
+        ]
         for entry in payload["entries"]:
             assert (REPO_ROOT / entry["path"]).exists(), entry
